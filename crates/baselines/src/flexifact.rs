@@ -1,0 +1,420 @@
+//! FlexiFact — stratified SGD for coupled matrix-tensor factorization on
+//! MapReduce (Beutel et al., SDM'14 — the `FlexiFact` baseline of §IV-A).
+//!
+//! Stochastic gradient descent over observed tensor cells plus the
+//! coupled similarity cells. Distribution follows the stratum scheme: each
+//! epoch is `M` sub-epochs; in each, `M` mutually non-conflicting blocks
+//! are processed in parallel and the touched factor blocks are written
+//! back to the DFS between sub-epochs. That block exchange is the "high
+//! communication cost with an exponential increase" the paper blames for
+//! FlexiFact's poor scaling, and its full-matrix working copies are why
+//! it O.O.M.s alongside ALS at `I = 10⁷` in Fig. 3a.
+
+use distenc_core::model::{MethodModel, WorkloadSpec};
+use distenc_core::trace::{ConvergenceTrace, TracePoint};
+use distenc_core::{CompletionResult, CoreError, Result};
+use distenc_dataflow::cluster::TaskCost;
+use distenc_dataflow::{Cluster, ClusterConfig};
+use distenc_graph::SparseSym;
+use distenc_linalg::Mat;
+use distenc_tensor::{CooTensor, KruskalTensor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const F64: u64 = 8;
+
+/// FlexiFact hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlexiFactConfig {
+    /// CP rank `R`.
+    pub rank: usize,
+    /// Ridge weight `λ` (weight-decay inside each SGD step).
+    pub lambda: f64,
+    /// Coupling weight `β` for similarity cells.
+    pub beta: f64,
+    /// Initial SGD step size `γ₀`.
+    pub step: f64,
+    /// Multiplicative step decay per epoch.
+    pub decay: f64,
+    /// Epoch cap.
+    pub max_iters: usize,
+    /// Convergence tolerance on the max factor delta per epoch.
+    pub tol: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlexiFactConfig {
+    fn default() -> Self {
+        FlexiFactConfig {
+            rank: 10,
+            lambda: 0.05,
+            beta: 0.2,
+            step: 0.05,
+            decay: 0.95,
+            max_iters: 80,
+            tol: 1e-3,
+            seed: 42,
+        }
+    }
+}
+
+/// The FlexiFact solver (serial SGD numerics, optional MapReduce
+/// accounting).
+#[derive(Debug)]
+pub struct FlexiFactSolver<'c> {
+    cfg: FlexiFactConfig,
+    cluster: Option<&'c Cluster>,
+}
+
+impl<'c> FlexiFactSolver<'c> {
+    /// Serial solver.
+    pub fn new(cfg: FlexiFactConfig) -> Result<Self> {
+        if cfg.rank == 0
+            || cfg.max_iters == 0
+            || !(cfg.tol.is_finite() && cfg.tol > 0.0)
+            || !(cfg.step.is_finite() && cfg.step > 0.0)
+            || !(0.0 < cfg.decay && cfg.decay <= 1.0)
+        {
+            return Err(CoreError::Invalid("bad FlexiFact configuration".into()));
+        }
+        Ok(FlexiFactSolver { cfg, cluster: None })
+    }
+
+    /// Distributed solver; pass a MapReduce-mode cluster for the paper's
+    /// setup.
+    pub fn on_cluster(cfg: FlexiFactConfig, cluster: &'c Cluster) -> Result<Self> {
+        let mut s = Self::new(cfg)?;
+        s.cluster = Some(cluster);
+        Ok(s)
+    }
+
+    /// Run SGD completion with optional coupled similarities.
+    pub fn solve(
+        &self,
+        observed: &CooTensor,
+        similarities: &[Option<&SparseSym>],
+    ) -> Result<CompletionResult> {
+        if observed.nnz() == 0 {
+            return Err(CoreError::Invalid("observed tensor has no entries".into()));
+        }
+        if similarities.len() != observed.order() {
+            return Err(CoreError::Invalid("one similarity slot per mode".into()));
+        }
+        let shape = observed.shape().to_vec();
+        let n_modes = shape.len();
+        let rank = self.cfg.rank;
+        let start = Instant::now();
+
+        if let Some(cl) = self.cluster {
+            self.charge_setup(cl, observed)?;
+        }
+
+        // Scale the init down: SGD diverges from uniform[0,1) inits when
+        // entries are products of three such factors.
+        let mut model = KruskalTensor::random(&shape, rank, self.cfg.seed);
+        for f in model.factors_mut() {
+            f.scale(0.5);
+        }
+        let mut coupled: Vec<Option<Mat>> = shape
+            .iter()
+            .enumerate()
+            .map(|(n, &d)| {
+                similarities[n]
+                    .map(|_| Mat::random(d, rank, self.cfg.seed.wrapping_add(300 + n as u64)).scaled(0.5))
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..observed.nnz()).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xf1e);
+        let mut gamma = self.cfg.step;
+        let mut trace = ConvergenceTrace::new();
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut grad = vec![0.0_f64; rank];
+
+        for t in 0..self.cfg.max_iters {
+            iterations = t + 1;
+            let prev: Vec<Mat> = model.factors().to_vec();
+            order.shuffle(&mut rng);
+
+            // Tensor cells.
+            for &eidx in &order {
+                let idx = observed.index(eidx);
+                let err = observed.value(eidx) - model.eval(idx);
+                for n in 0..n_modes {
+                    // grad wrt A⁽ⁿ⁾[iₙ,:] = −err · ⊛_{k≠n} A⁽ᵏ⁾[iₖ,:].
+                    grad.iter_mut().for_each(|g| *g = err);
+                    for (k, f) in model.factors().iter().enumerate() {
+                        if k == n {
+                            continue;
+                        }
+                        for (g, &a) in grad.iter_mut().zip(f.row(idx[k])) {
+                            *g *= a;
+                        }
+                    }
+                    let row = model.factors_mut()[n].row_mut(idx[n]);
+                    for (a, &g) in row.iter_mut().zip(&grad) {
+                        *a += gamma * (g - self.cfg.lambda * *a);
+                    }
+                }
+            }
+            // Coupled similarity cells (matrix SGD: S ≈ A Dᵀ).
+            for n in 0..n_modes {
+                let (Some(s), Some(d)) = (similarities[n], coupled[n].as_mut()) else {
+                    continue;
+                };
+                for i in 0..s.dim() {
+                    let (cols, vals) = s.row(i);
+                    for (&j, &sv) in cols.iter().zip(vals) {
+                        let a_row = model.factors()[n].row(i).to_vec();
+                        let pred: f64 =
+                            a_row.iter().zip(d.row(j)).map(|(a, b)| a * b).sum();
+                        let err = self.cfg.beta * (sv - pred);
+                        let d_row = d.row_mut(j);
+                        for r in 0..rank {
+                            let a_val = a_row[r];
+                            let d_val = d_row[r];
+                            d_row[r] += gamma * (err * a_val - self.cfg.lambda * d_val);
+                            model.factors_mut()[n].row_mut(i)[r] +=
+                                gamma * (err * d_val - self.cfg.lambda * a_val);
+                        }
+                    }
+                }
+            }
+
+            if let Some(cl) = self.cluster {
+                self.charge_epoch(cl, observed, &shape)?;
+            }
+
+            let mut delta = 0.0_f64;
+            for (n, p) in prev.iter().enumerate() {
+                delta = delta.max(p.frob_dist(&model.factors()[n])?);
+            }
+            let train_rmse =
+                distenc_tensor::residual::observed_rmse(observed, &model)?;
+            let seconds = match self.cluster {
+                Some(cl) => cl.now(),
+                None => start.elapsed().as_secs_f64(),
+            };
+            trace.push(TracePoint { iter: t, seconds, train_rmse, factor_delta: delta });
+            gamma *= self.cfg.decay;
+            if delta < self.cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+        Ok(CompletionResult { model, trace, iterations, converged })
+    }
+
+    fn charge_setup(&self, cl: &Cluster, observed: &CooTensor) -> Result<()> {
+        let m = cl.machines();
+        let entry_bytes = (observed.order() as u64 + 1) * F64;
+        let per = observed.nnz().div_ceil(m) as u64;
+        let tasks: Vec<TaskCost> = (0..m)
+            .map(|mach| TaskCost {
+                machine: mach,
+                flops: per as f64,
+                input_bytes: per * entry_bytes,
+                output_bytes: per * entry_bytes,
+            })
+            .collect();
+        cl.run_stage(&tasks)?;
+        // Full-matrix working copies per machine (×2: current + update).
+        let full: u64 = observed
+            .shape()
+            .iter()
+            .map(|&d| (d * self.cfg.rank) as u64 * F64)
+            .sum();
+        for mach in 0..m {
+            cl.reserve(mach, per * entry_bytes + 2 * full)?;
+        }
+        Ok(())
+    }
+
+    /// One epoch = M sub-epochs of stratum SGD; between sub-epochs every
+    /// touched factor block round-trips through the DFS.
+    fn charge_epoch(&self, cl: &Cluster, observed: &CooTensor, shape: &[usize]) -> Result<()> {
+        let m = cl.machines();
+        let rank = self.cfg.rank as u64;
+        let n_modes = shape.len() as u64;
+        let per_block = (observed.nnz() as u64).div_ceil((m * m) as u64);
+        let entry_bytes = (n_modes + 1) * F64;
+        let block_rows: u64 = shape.iter().map(|&d| (d / m.max(1)) as u64).sum();
+        for _sub in 0..m {
+            let tasks: Vec<TaskCost> = (0..m)
+                .map(|mach| TaskCost {
+                    machine: mach,
+                    flops: (per_block * 3 * n_modes * rank) as f64,
+                    input_bytes: per_block * entry_bytes + block_rows * rank * F64,
+                    output_bytes: block_rows * rank * F64,
+                })
+                .collect();
+            cl.run_stage(&tasks)?;
+            // Factor blocks rotate between machines via the DFS.
+            let bytes_each = block_rows * rank * F64;
+            let sent = vec![bytes_each; m];
+            let received = vec![bytes_each; m];
+            cl.shuffle(&sent, &received)?;
+        }
+        Ok(())
+    }
+}
+
+/// Scalability model of FlexiFact (DESIGN.md §5): ALS-like full working
+/// copies (O.O.M. at `10⁷`), stratum communication that *grows* with the
+/// machine count, MapReduce disk everywhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlexiFactModel;
+
+impl MethodModel for FlexiFactModel {
+    fn name(&self) -> &'static str {
+        "FlexiFact"
+    }
+
+    fn mem_per_machine(&self, w: &WorkloadSpec, c: &ClusterConfig) -> u64 {
+        let m = c.machines as u64;
+        let tensor = w.nnz * (w.entry_bytes() + 8) / m;
+        // Full-matrix working copies (current + pending update) plus
+        // per-row stratum bookkeeping.
+        let copies: u64 = w.dims.iter().map(|&d| d * w.rank * 8).sum::<u64>() * 2;
+        let row_bookkeeping: u64 = w.dims.iter().map(|&d| d * 256).sum();
+        tensor + copies + row_bookkeeping
+    }
+
+    fn seconds(&self, w: &WorkloadSpec, c: &ClusterConfig) -> f64 {
+        let m = c.machines as f64;
+        let cores = c.cores_per_machine as f64;
+        let r = w.rank as f64;
+        let n_modes = w.dims.len() as f64;
+        let nnz = w.nnz as f64;
+        let act_sum = w.active_total() as f64;
+        let cost = &c.cost;
+        let entry = w.entry_bytes() as f64;
+
+        let flops_per_iter = 3.0 * nnz * n_modes * r;
+        // M sub-epochs, each shipping factor blocks through the DFS: the
+        // per-epoch traffic grows with M (the paper's scaling complaint).
+        let net_per_iter = act_sum * r * 8.0 * m.sqrt();
+        let disk_per_iter = m * (2.0 * nnz * entry / m + act_sum * r * 8.0);
+        let stages = 2.0 * m; // one job per sub-epoch
+
+        let per_iter = flops_per_iter / (m * cores) * cost.seconds_per_flop
+            + net_per_iter * cost.seconds_per_net_byte
+            + disk_per_iter / m * cost.seconds_per_disk_byte
+            + stages * cost.mr_job_latency;
+        let setup = nnz * entry / m * cost.seconds_per_disk_byte;
+        setup + w.iters as f64 * per_iter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distenc_core::model::RunOutcome;
+    use distenc_dataflow::ExecMode;
+    use distenc_graph::builders::tridiagonal_chain;
+    use rand::Rng;
+
+    fn planted(shape: &[usize], rank: usize, nnz: usize, seed: u64) -> CooTensor {
+        let truth = KruskalTensor::random(shape, rank, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf1ac);
+        let mut mask = CooTensor::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
+            mask.push(&idx, 1.0).unwrap();
+        }
+        mask.sort_dedup();
+        truth.eval_at(&mask).unwrap()
+    }
+
+    #[test]
+    fn sgd_reduces_training_rmse() {
+        let observed = planted(&[12, 10, 8], 2, 600, 3);
+        let cfg = FlexiFactConfig { rank: 2, max_iters: 60, ..Default::default() };
+        let res = FlexiFactSolver::new(cfg).unwrap().solve(&observed, &[None, None, None]).unwrap();
+        let first = res.trace.points[0].train_rmse;
+        let last = res.trace.final_rmse().unwrap();
+        assert!(last < first * 0.5, "SGD must reduce RMSE: {first} → {last}");
+        assert!(last < 0.2, "final RMSE {last}");
+    }
+
+    #[test]
+    fn coupled_similarity_influences_factors() {
+        let observed = planted(&[12, 12, 12], 2, 500, 5);
+        let sim = tridiagonal_chain(12);
+        let cfg = FlexiFactConfig { rank: 2, max_iters: 20, tol: 1e-12, ..Default::default() };
+        let coupled = FlexiFactSolver::new(cfg.clone())
+            .unwrap()
+            .solve(&observed, &[Some(&sim), None, None])
+            .unwrap();
+        let plain = FlexiFactSolver::new(cfg)
+            .unwrap()
+            .solve(&observed, &[None, None, None])
+            .unwrap();
+        assert!(
+            coupled.model.factors()[0]
+                .frob_dist(&plain.model.factors()[0])
+                .unwrap()
+                > 1e-6
+        );
+    }
+
+    #[test]
+    fn mapreduce_accounting_scales_stage_count_with_machines() {
+        let observed = planted(&[12, 12, 12], 2, 300, 7);
+        let stages_for = |m: usize| {
+            let cluster = Cluster::new(
+                ClusterConfig::test(m)
+                    .with_mode(ExecMode::MapReduce)
+                    .with_time_budget(None),
+            );
+            let cfg = FlexiFactConfig { rank: 2, max_iters: 2, tol: 1e-12, ..Default::default() };
+            let _ = FlexiFactSolver::on_cluster(cfg, &cluster)
+                .unwrap()
+                .solve(&observed, &[None, None, None])
+                .unwrap();
+            cluster.metrics().stages
+        };
+        // Stratified SGD runs one job per sub-epoch: more machines, more
+        // jobs per epoch.
+        assert!(stages_for(4) > stages_for(2));
+    }
+
+    #[test]
+    fn model_oom_at_paper_threshold() {
+        let c = ClusterConfig::paper_mapreduce();
+        let ok = FlexiFactModel.estimate(&WorkloadSpec::cube(1_000_000, 10_000_000, 20), &c);
+        assert!(ok.is_ok(), "{ok:?}");
+        let oom = FlexiFactModel.estimate(&WorkloadSpec::cube(10_000_000, 10_000_000, 20), &c);
+        assert!(matches!(oom, RunOutcome::OutOfMemory { .. }), "{oom:?}");
+    }
+
+    #[test]
+    fn model_scaling_saturates_with_machines() {
+        // The stratum exchange grows with M: speedup flattens well below
+        // linear.
+        let w = WorkloadSpec::cube(100_000, 10_000_000, 10);
+        let c = ClusterConfig::paper_mapreduce();
+        let t1 = FlexiFactModel.seconds(&w, &c.clone().with_machines(1));
+        let t8 = FlexiFactModel.seconds(&w, &c.with_machines(8));
+        let speedup = t1 / t8;
+        assert!(speedup < 4.0, "FlexiFact speedup {speedup:.2} must saturate");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(FlexiFactSolver::new(FlexiFactConfig { rank: 0, ..Default::default() }).is_err());
+        assert!(
+            FlexiFactSolver::new(FlexiFactConfig { step: 0.0, ..Default::default() }).is_err()
+        );
+        assert!(
+            FlexiFactSolver::new(FlexiFactConfig { decay: 1.5, ..Default::default() }).is_err()
+        );
+        let observed = planted(&[6, 6], 2, 20, 9);
+        let s = FlexiFactSolver::new(FlexiFactConfig::default()).unwrap();
+        assert!(s.solve(&observed, &[None]).is_err());
+    }
+}

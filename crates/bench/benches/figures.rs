@@ -1,0 +1,41 @@
+//! Benchmarks of the figure drivers themselves: the modelled sweeps
+//! (Figs. 3–4) are microsecond-cheap by design; the measured drivers are
+//! benchmarked at the `Quick` profile to keep `cargo bench` bounded while
+//! still regenerating every figure's data path end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use distenc_eval::figures::{self, Profile};
+
+fn bench_model_sweeps(c: &mut Criterion) {
+    c.bench_function("fig3a_model_sweep", |b| b.iter(|| black_box(figures::fig3a())));
+    c.bench_function("fig3b_model_sweep", |b| b.iter(|| black_box(figures::fig3b())));
+    c.bench_function("fig3c_model_sweep", |b| b.iter(|| black_box(figures::fig3c())));
+    c.bench_function("fig4_model_sweep", |b| b.iter(|| black_box(figures::fig4())));
+}
+
+fn bench_measured_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measured_figures");
+    g.sample_size(10);
+    g.bench_function("fig5_quick", |b| {
+        b.iter(|| figures::fig5(Profile::Quick).unwrap())
+    });
+    g.bench_function("fig6a_quick", |b| {
+        b.iter(|| figures::fig6a(Profile::Quick).unwrap())
+    });
+    g.bench_function("fig6b_quick", |b| {
+        b.iter(|| figures::fig6b(Profile::Quick).unwrap())
+    });
+    g.bench_function("fig7a_quick", |b| {
+        b.iter(|| figures::fig7a(Profile::Quick).unwrap())
+    });
+    g.bench_function("fig7b_quick", |b| {
+        b.iter(|| figures::fig7b(Profile::Quick).unwrap())
+    });
+    g.bench_function("table3_quick", |b| {
+        b.iter(|| figures::table3(Profile::Quick).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_sweeps, bench_measured_figures);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Whole-solver benchmarks: fixed-iteration runs of every method on the
+//! same observed tensor, plus the DisTenC distributed solve with engine
+//! accounting (whose *virtual* output is deterministic; this bench
+//! measures the real wall cost of simulating it).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use distenc_baselines::{
+    AlsConfig, AlsSolver, FlexiFactConfig, FlexiFactSolver, ScoutConfig, ScoutSolver,
+    TfaiConfig, TfaiSolver,
+};
+use distenc_core::{AdmmConfig, AdmmSolver, DisTenC};
+use distenc_dataflow::{Cluster, ClusterConfig};
+use distenc_datagen::synthetic::error_tensor;
+use distenc_graph::{Laplacian, SparseSym};
+
+const ITERS: usize = 5;
+
+struct Setup {
+    data: distenc_datagen::synthetic::ErrorTensor,
+    laps: Vec<Laplacian>,
+}
+
+fn setup() -> Setup {
+    let data = error_tensor(&[40, 40, 40], 4, 10_000, 1);
+    let laps = data
+        .similarities
+        .iter()
+        .map(|s| Laplacian::from_similarity(s.clone()))
+        .collect();
+    Setup { data, laps }
+}
+
+fn bench_admm(c: &mut Criterion) {
+    let s = setup();
+    let lap_refs: Vec<Option<&Laplacian>> = s.laps.iter().map(Some).collect();
+    let cfg = AdmmConfig { rank: 4, max_iters: ITERS, tol: 1e-15, ..Default::default() };
+    let solver = AdmmSolver::new(cfg).unwrap();
+    c.bench_function("distenc_serial_5iter_10k", |b| {
+        b.iter(|| solver.solve(black_box(&s.data.observed), &lap_refs).unwrap())
+    });
+}
+
+fn bench_distenc_engine(c: &mut Criterion) {
+    let s = setup();
+    let cfg = AdmmConfig { rank: 4, max_iters: ITERS, tol: 1e-15, ..Default::default() };
+    c.bench_function("distenc_engine9_5iter_10k", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::paper_spark().with_time_budget(None));
+            DisTenC::new(&cluster, cfg.clone())
+                .unwrap()
+                .solve(black_box(&s.data.observed), &[None, None, None])
+                .unwrap()
+        })
+    });
+}
+
+fn bench_als(c: &mut Criterion) {
+    let s = setup();
+    let cfg = AlsConfig { rank: 4, max_iters: ITERS, tol: 1e-15, ..Default::default() };
+    let solver = AlsSolver::new(cfg).unwrap();
+    c.bench_function("als_5iter_10k", |b| {
+        b.iter(|| solver.solve(black_box(&s.data.observed)).unwrap())
+    });
+}
+
+fn bench_tfai(c: &mut Criterion) {
+    let s = setup();
+    let lap_refs: Vec<Option<&Laplacian>> = s.laps.iter().map(Some).collect();
+    let cfg = TfaiConfig { rank: 4, max_iters: ITERS, tol: 1e-15, ..Default::default() };
+    let solver = TfaiSolver::new(cfg).unwrap();
+    c.bench_function("tfai_5iter_10k", |b| {
+        b.iter(|| solver.solve(black_box(&s.data.observed), &lap_refs).unwrap())
+    });
+}
+
+fn bench_scout(c: &mut Criterion) {
+    let s = setup();
+    let sims: Vec<Option<&SparseSym>> = s.data.similarities.iter().map(Some).collect();
+    let cfg = ScoutConfig { rank: 4, max_iters: ITERS, tol: 1e-15, ..Default::default() };
+    let solver = ScoutSolver::new(cfg).unwrap();
+    c.bench_function("scout_5iter_10k", |b| {
+        b.iter(|| solver.solve(black_box(&s.data.observed), &sims).unwrap())
+    });
+}
+
+fn bench_flexifact(c: &mut Criterion) {
+    let s = setup();
+    let sims: Vec<Option<&SparseSym>> = s.data.similarities.iter().map(Some).collect();
+    let cfg = FlexiFactConfig { rank: 4, max_iters: ITERS, tol: 1e-15, ..Default::default() };
+    let solver = FlexiFactSolver::new(cfg).unwrap();
+    c.bench_function("flexifact_5epoch_10k", |b| {
+        b.iter(|| solver.solve(black_box(&s.data.observed), &sims).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_admm,
+    bench_distenc_engine,
+    bench_als,
+    bench_tfai,
+    bench_scout,
+    bench_flexifact
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Fig. 3a — data scalability vs dimensionality (I = J = K ∈ 10³…10⁹,
+//! nnz = 10⁷, rank 20). Modelled on the paper's 9×8-core/12 GB cluster.
+fn main() {
+    println!("Fig. 3a: running time vs dimensionality (nnz = 1e7, R = 20, 20 iterations)");
+    println!("{}", distenc_bench::render_model_series("dim", &distenc_eval::figures::fig3a()));
+}

@@ -1,0 +1,6 @@
+//! Fig. 3b — data scalability vs non-zeros (nnz ∈ 10⁶…10⁹, I = 10⁵,
+//! rank 10).
+fn main() {
+    println!("Fig. 3b: running time vs number of non-zeros (I = 1e5, R = 10, 20 iterations)");
+    println!("{}", distenc_bench::render_model_series("nnz", &distenc_eval::figures::fig3b()));
+}

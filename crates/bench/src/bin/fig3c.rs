@@ -1,0 +1,5 @@
+//! Fig. 3c — data scalability vs rank (R ∈ 10…500, I = 10⁶, nnz = 10⁷).
+fn main() {
+    println!("Fig. 3c: running time vs rank (I = 1e6, nnz = 1e7, 20 iterations)");
+    println!("{}", distenc_bench::render_model_series("rank", &distenc_eval::figures::fig3c()));
+}

@@ -1,0 +1,6 @@
+//! Fig. 4 — machine scalability T₁/T_M (M ∈ 1…8, I = 10⁵, nnz = 10⁷,
+//! rank 10).
+fn main() {
+    println!("Fig. 4: speed-up T1/TM vs machines (I = 1e5, nnz = 1e7, R = 10)");
+    println!("{}", distenc_bench::render_speedups(&distenc_eval::figures::fig4()));
+}

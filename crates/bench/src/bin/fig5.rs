@@ -1,0 +1,7 @@
+//! Fig. 5 — reconstruction error vs missing rate on Synthetic-error.
+fn main() {
+    let profile = distenc_bench::profile_from_args();
+    println!("Fig. 5: relative error vs fraction of missing data ({profile:?} profile)");
+    let series = distenc_eval::figures::fig5(profile).expect("fig5 run failed");
+    println!("{}", distenc_bench::render_error_series(&series));
+}

@@ -1,0 +1,9 @@
+//! Fig. 6a — recommendation RMSE on the Netflix and Twitter-List analogs.
+fn main() {
+    let profile = distenc_bench::profile_from_args();
+    println!("Fig. 6a: recommendation RMSE ({profile:?} profile)");
+    for (name, rows) in distenc_eval::figures::fig6a(profile).expect("fig6a run failed") {
+        println!("[{name}]");
+        println!("{}", distenc_bench::render_accuracy(&rows));
+    }
+}

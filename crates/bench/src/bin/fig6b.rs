@@ -1,0 +1,7 @@
+//! Fig. 6b — convergence (training RMSE vs time) on the Netflix analog.
+fn main() {
+    let profile = distenc_bench::profile_from_args();
+    println!("Fig. 6b: convergence on the Netflix analog ({profile:?} profile)");
+    let series = distenc_eval::figures::fig6b(profile).expect("fig6b run failed");
+    println!("{}", distenc_bench::render_convergence(&series, 12));
+}

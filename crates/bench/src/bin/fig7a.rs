@@ -1,0 +1,17 @@
+//! Fig. 7a — link-prediction RMSE on the Facebook analog.
+fn main() {
+    let profile = distenc_bench::profile_from_args();
+    println!("Fig. 7a: link-prediction RMSE ({profile:?} profile)");
+    let rows = distenc_eval::figures::fig7a(profile).expect("fig7a run failed");
+    println!("{}", distenc_bench::render_accuracy(&rows));
+    let als = rows.iter().find(|r| r.method.name() == "ALS").unwrap().rmse;
+    for r in &rows {
+        if r.method.name() != "ALS" {
+            println!(
+                "{} improvement over ALS: {:.1}%",
+                r.method.name(),
+                distenc_eval::metrics::improvement_pct(als, r.rmse)
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Fig. 7b — convergence (training RMSE vs time) on the Facebook analog.
+fn main() {
+    let profile = distenc_bench::profile_from_args();
+    println!("Fig. 7b: convergence on the Facebook analog ({profile:?} profile)");
+    let series = distenc_eval::figures::fig7b(profile).expect("fig7b run failed");
+    println!("{}", distenc_bench::render_convergence(&series, 12));
+}

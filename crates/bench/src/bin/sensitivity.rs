@@ -1,0 +1,26 @@
+//! Hyper-parameter sensitivity: the α (aux weight) and K (eigen
+//! truncation) dials of §III-B, swept on Synthetic-error at 70% missing.
+use distenc_eval::sensitivity::{alpha_sweep, eigen_k_sweep};
+use distenc_eval::table::{fmt_f, render};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (dim, nnz) = if quick { (20usize, 3_000usize) } else { (40, 20_000) };
+
+    println!("α sweep (relative error at 70% missing, K = 20)");
+    let pts = alpha_sweep(dim, nnz, &[0.0, 0.5, 2.0, 8.0, 32.0, 128.0]).expect("alpha sweep");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| vec![format!("{}", p.x), fmt_f(p.relative_error)])
+        .collect();
+    println!("{}", render(&["alpha", "rel. error"], &rows));
+
+    println!("K sweep (relative error at 70% missing, α = 5)");
+    let ks: Vec<usize> = if quick { vec![2, 5, 10, 20] } else { vec![2, 5, 10, 20, 40] };
+    let pts = eigen_k_sweep(dim, nnz, &ks).expect("k sweep");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| vec![format!("{}", p.x as usize), fmt_f(p.relative_error)])
+        .collect();
+    println!("{}", render(&["K", "rel. error"], &rows));
+}

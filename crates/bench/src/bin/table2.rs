@@ -1,0 +1,30 @@
+//! Table II — dataset summary (paper originals vs generated analogs).
+use distenc_eval::table::{fmt_count, render};
+fn main() {
+    let profile = distenc_bench::profile_from_args();
+    println!("Table II: datasets ({profile:?} profile analogs)");
+    let rows: Vec<Vec<String>> = distenc_eval::figures::table2(profile)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!(
+                    "{}x{}x{}",
+                    fmt_count(r.paper_dims[0]),
+                    fmt_count(r.paper_dims[1]),
+                    fmt_count(r.paper_dims[2])
+                ),
+                fmt_count(r.paper_nnz),
+                format!(
+                    "{}x{}x{}",
+                    r.analog_dims[0], r.analog_dims[1], r.analog_dims[2]
+                ),
+                r.analog_nnz.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["dataset", "paper shape", "paper nnz", "analog shape", "analog nnz"], &rows)
+    );
+}

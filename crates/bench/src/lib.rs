@@ -1,0 +1,145 @@
+//! Shared plumbing for the figure/table binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a binary here
+//! that regenerates its rows/series:
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `fig3a`  | running time vs dimensionality (10³…10⁹) |
+//! | `fig3b`  | running time vs non-zeros (10⁶…10⁹) |
+//! | `fig3c`  | running time vs rank (10…500) |
+//! | `fig4`   | machine-scalability speed-ups (1…8 machines) |
+//! | `fig5`   | reconstruction error vs missing rate |
+//! | `fig6a`  | recommendation RMSE (Netflix / Twitter analogs) |
+//! | `fig6b`  | convergence on the Netflix analog |
+//! | `fig7a`  | link-prediction RMSE (Facebook analog) |
+//! | `fig7b`  | convergence on the Facebook analog |
+//! | `table2` | dataset summary |
+//! | `table3` | concept discovery on the DBLP analog |
+//!
+//! Pass `--quick` to any measured binary to use the test-suite-sized
+//! workloads instead of the larger defaults.
+
+#![warn(missing_docs)]
+
+use distenc_eval::figures::{
+    AccuracyRow, ConvergenceSeries, ErrorSeries, ModelSeries, Profile, SpeedupSeries,
+};
+use distenc_eval::table::{fmt_f, render};
+
+/// `--quick` selects [`Profile::Quick`]; default is [`Profile::Full`].
+pub fn profile_from_args() -> Profile {
+    if std::env::args().any(|a| a == "--quick") {
+        Profile::Quick
+    } else {
+        Profile::Full
+    }
+}
+
+/// Render a modelled Fig. 3 sweep as a table (rows = methods, columns =
+/// swept values), printing `O.O.M.`/`O.O.T.` exactly as the paper does.
+pub fn render_model_series(x_label: &str, series: &[ModelSeries]) -> String {
+    let xs: Vec<String> = series[0]
+        .points
+        .iter()
+        .map(|p| {
+            if p.x < 1000 {
+                p.x.to_string()
+            } else {
+                format!("{:.0e}", p.x as f64)
+            }
+        })
+        .collect();
+    let mut header = vec![x_label];
+    let x_refs: Vec<&str> = xs.iter().map(String::as_str).collect();
+    header.extend(x_refs);
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.method.name().to_string()];
+            row.extend(s.points.iter().map(|p| p.outcome.label()));
+            row
+        })
+        .collect();
+    render(&header, &rows)
+}
+
+/// Render Fig. 4 speed-up curves.
+pub fn render_speedups(series: &[SpeedupSeries]) -> String {
+    let mut header = vec!["machines".to_string()];
+    header.extend(series[0].points.iter().map(|(m, _)| m.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.method.name().to_string()];
+            row.extend(s.points.iter().map(|(_, v)| format!("{v:.2}x")));
+            row
+        })
+        .collect();
+    render(&header_refs, &rows)
+}
+
+/// Render Fig. 5 error curves.
+pub fn render_error_series(series: &[ErrorSeries]) -> String {
+    let mut header = vec!["missing".to_string()];
+    header.extend(series[0].points.iter().map(|(r, _)| format!("{:.0}%", r * 100.0)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.method.name().to_string()];
+            row.extend(s.points.iter().map(|(_, e)| fmt_f(*e)));
+            row
+        })
+        .collect();
+    render(&header_refs, &rows)
+}
+
+/// Render an RMSE table (Figs. 6a / 7a).
+pub fn render_accuracy(rows: &[AccuracyRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.method.name().to_string(), fmt_f(r.rmse)])
+        .collect();
+    render(&["method", "RMSE"], &body)
+}
+
+/// Render convergence series (Figs. 6b / 7b) as aligned (time, RMSE)
+/// columns, sampling at most `max_rows` points per method.
+pub fn render_convergence(series: &[ConvergenceSeries], max_rows: usize) -> String {
+    let mut out = String::new();
+    for s in series {
+        out.push_str(&format!("-- {} --\n", s.method.name()));
+        let step = (s.points.len().div_ceil(max_rows)).max(1);
+        let body: Vec<Vec<String>> = s
+            .points
+            .iter()
+            .step_by(step)
+            .map(|(t, r)| vec![fmt_f(*t), fmt_f(*r)])
+            .collect();
+        out.push_str(&render(&["seconds", "train RMSE"], &body));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distenc_eval::figures;
+
+    #[test]
+    fn model_series_render_includes_failures() {
+        let t = render_model_series("dim", &figures::fig3a());
+        assert!(t.contains("O.O.M."));
+        assert!(t.contains("DisTenC"));
+        assert!(t.contains("1e9"));
+    }
+
+    #[test]
+    fn speedup_render_has_multipliers() {
+        let t = render_speedups(&figures::fig4());
+        assert!(t.contains('x'));
+        assert!(t.contains("SCouT"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Hyper-parameters of the ADMM completion solvers.
+
+/// Configuration shared by [`crate::AdmmSolver`] (Algorithm 1) and
+/// [`crate::DisTenC`] (Algorithm 3). Field names follow the paper's
+/// symbols.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmConfig {
+    /// CP rank `R` (pre-defined input, §II-B).
+    pub rank: usize,
+    /// Ridge weight `λ` on `‖A⁽ⁿ⁾‖²_F`.
+    pub lambda: f64,
+    /// Trace-regularizer weight `αₙ` (one value applied to every mode that
+    /// has auxiliary information).
+    pub alpha: f64,
+    /// Initial ADMM penalty `η₀`.
+    pub eta0: f64,
+    /// Penalty growth factor `ρ` (`ηₜ₊₁ = min(ρηₜ, η_max)`).
+    pub rho: f64,
+    /// Penalty ceiling `η_max`.
+    pub eta_max: f64,
+    /// Iteration cap `T`.
+    pub max_iters: usize,
+    /// Convergence tolerance on `max ₙ ‖A⁽ⁿ⁾ₜ₊₁ − A⁽ⁿ⁾ₜ‖_F` (Algorithm 3
+    /// line 15).
+    pub tol: f64,
+    /// Truncation width `K` of the Laplacian eigendecompositions (§III-B).
+    pub eigen_k: usize,
+    /// RNG seed for factor initialization (and Lanczos starts).
+    pub seed: u64,
+    /// Project factors onto the non-negative orthant after each update
+    /// (the `A⁽ⁿ⁾ ≥ 0` constraint of Eq. 4; off by default because the
+    /// synthetic-error data of §IV-A is signed).
+    pub nonneg: bool,
+    /// Block-boundary strategy for the distributed solver (Algorithm 2's
+    /// greedy balancing by default; the equal-width baseline exists for
+    /// the load-balancing ablation).
+    pub partition: distenc_partition::PartitionStrategy,
+    /// Use the compressed-sparse-fiber MTTKRP (§III-C's SPLATT layout) in
+    /// the serial solver instead of the COO kernel. Identical results;
+    /// faster on fiber-dense tensors (the `kernels` bench quantifies it).
+    pub use_csf: bool,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        AdmmConfig {
+            rank: 10,
+            lambda: 0.1,
+            alpha: 1.0,
+            eta0: 1.0,
+            rho: 1.05,
+            eta_max: 1.0e6,
+            max_iters: 60,
+            tol: 1.0e-3,
+            eigen_k: 20,
+            seed: 42,
+            nonneg: false,
+            partition: distenc_partition::PartitionStrategy::Greedy,
+            use_csf: false,
+        }
+    }
+}
+
+impl AdmmConfig {
+    /// Builder-style rank override.
+    pub fn with_rank(mut self, rank: usize) -> Self {
+        self.rank = rank;
+        self
+    }
+
+    /// Builder-style iteration cap override.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Builder-style auxiliary-weight override.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style tolerance override.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Builder-style eigen-truncation override.
+    pub fn with_eigen_k(mut self, k: usize) -> Self {
+        self.eigen_k = k;
+        self
+    }
+
+    /// Sanity-check parameter ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.rank == 0 {
+            return Err("rank must be ≥ 1".into());
+        }
+        if self.lambda < 0.0 || self.alpha < 0.0 {
+            return Err("λ and α must be non-negative".into());
+        }
+        if self.eta0 <= 0.0 || self.eta_max < self.eta0 {
+            return Err("need 0 < η₀ ≤ η_max".into());
+        }
+        if self.rho < 1.0 {
+            return Err("ρ must be ≥ 1 (penalty must not shrink)".into());
+        }
+        if self.max_iters == 0 {
+            return Err("max_iters must be ≥ 1".into());
+        }
+        if !(self.tol.is_finite() && self.tol > 0.0) {
+            return Err("tol must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(AdmmConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = AdmmConfig::default()
+            .with_rank(5)
+            .with_max_iters(9)
+            .with_alpha(0.5)
+            .with_seed(7)
+            .with_tol(1e-6)
+            .with_eigen_k(3);
+        assert_eq!(c.rank, 5);
+        assert_eq!(c.max_iters, 9);
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.tol, 1e-6);
+        assert_eq!(c.eigen_k, 3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(AdmmConfig { rank: 0, ..Default::default() }.validate().is_err());
+        assert!(AdmmConfig { lambda: -1.0, ..Default::default() }.validate().is_err());
+        assert!(AdmmConfig { eta0: 0.0, ..Default::default() }.validate().is_err());
+        assert!(AdmmConfig { rho: 0.5, ..Default::default() }.validate().is_err());
+        assert!(AdmmConfig { eta_max: 0.1, eta0: 1.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(AdmmConfig { max_iters: 0, ..Default::default() }.validate().is_err());
+        assert!(AdmmConfig { tol: f64::NAN, ..Default::default() }.validate().is_err());
+    }
+}

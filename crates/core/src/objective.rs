@@ -1,0 +1,132 @@
+//! The optimization objective (Eq. 4) as an evaluable quantity.
+//!
+//! Solvers drive the factor-delta criterion, but tests, diagnostics, and
+//! hyper-parameter studies want the actual objective value:
+//!
+//! `J(A) = ½‖Ω∗(T − [[A…]])‖²_F + (λ/2)Σₙ‖A⁽ⁿ⁾‖²_F
+//!         + Σₙ(αₙ/2)·tr(A⁽ⁿ⁾ᵀLₙA⁽ⁿ⁾)`
+//!
+//! (the primal objective with the consensus constraint `A = B`
+//! substituted — what ADMM converges to).
+
+use crate::Result;
+use distenc_graph::Laplacian;
+use distenc_tensor::residual::residual;
+use distenc_tensor::{CooTensor, KruskalTensor};
+
+/// Decomposed objective value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// `½‖Ω∗(T − [[A…]])‖²_F` — the data-fit term.
+    pub fit: f64,
+    /// `(λ/2)Σₙ‖A⁽ⁿ⁾‖²_F` — the ridge term.
+    pub ridge: f64,
+    /// `Σₙ(αₙ/2)·tr(A⁽ⁿ⁾ᵀLₙA⁽ⁿ⁾)` — the trace-regularization term.
+    pub trace: f64,
+}
+
+impl Objective {
+    /// Total objective value.
+    pub fn total(&self) -> f64 {
+        self.fit + self.ridge + self.trace
+    }
+}
+
+/// Evaluate the primal objective of Eq. 4 for a model.
+pub fn primal_objective(
+    observed: &CooTensor,
+    model: &KruskalTensor,
+    laplacians: &[Option<&Laplacian>],
+    lambda: f64,
+    alpha: f64,
+) -> Result<Objective> {
+    let e = residual(observed, model)?;
+    let fit = 0.5 * e.frob_norm_sq();
+    let ridge = 0.5 * lambda * model.factors().iter().map(|f| f.frob_norm_sq()).sum::<f64>();
+    let mut trace = 0.0;
+    for (n, lap) in laplacians.iter().enumerate() {
+        if let Some(l) = lap {
+            trace += 0.5 * alpha * l.trace_quadratic(&model.factors()[n]);
+        }
+    }
+    Ok(Objective { fit, ridge, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdmmConfig, AdmmSolver};
+    use distenc_graph::builders::tridiagonal_chain;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted(shape: &[usize], rank: usize, nnz: usize, seed: u64) -> CooTensor {
+        let truth = KruskalTensor::random(shape, rank, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b1);
+        let mut mask = CooTensor::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
+            mask.push(&idx, 1.0).unwrap();
+        }
+        mask.sort_dedup();
+        truth.eval_at(&mask).unwrap()
+    }
+
+    #[test]
+    fn exact_model_has_zero_fit() {
+        let truth = KruskalTensor::random(&[6, 6, 6], 2, 1);
+        let mut mask = CooTensor::new(vec![6, 6, 6]);
+        mask.push(&[1, 2, 3], 1.0).unwrap();
+        mask.push(&[0, 0, 0], 1.0).unwrap();
+        let observed = truth.eval_at(&mask).unwrap();
+        let obj =
+            primal_objective(&observed, &truth, &[None, None, None], 0.0, 0.0).unwrap();
+        assert!(obj.fit < 1e-15);
+        assert_eq!(obj.ridge, 0.0);
+        assert_eq!(obj.trace, 0.0);
+    }
+
+    #[test]
+    fn ridge_and_trace_terms_match_manual() {
+        let model = KruskalTensor::random(&[5, 5], 2, 3);
+        let observed = planted(&[5, 5], 2, 10, 4);
+        let lap = Laplacian::from_similarity(tridiagonal_chain(5));
+        let obj =
+            primal_objective(&observed, &model, &[Some(&lap), None], 2.0, 3.0).unwrap();
+        let manual_ridge =
+            model.factors().iter().map(|f| f.frob_norm_sq()).sum::<f64>();
+        assert!((obj.ridge - manual_ridge).abs() < 1e-12);
+        let manual_trace = 1.5 * lap.trace_quadratic(&model.factors()[0]);
+        assert!((obj.trace - manual_trace).abs() < 1e-12);
+        assert!((obj.total() - (obj.fit + obj.ridge + obj.trace)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solver_decreases_the_objective() {
+        let observed = planted(&[12, 12, 12], 2, 500, 7);
+        let laps: Vec<Laplacian> = (0..3)
+            .map(|_| Laplacian::from_similarity(tridiagonal_chain(12)))
+            .collect();
+        let refs: Vec<Option<&Laplacian>> = laps.iter().map(Some).collect();
+        let cfg = AdmmConfig {
+            rank: 2,
+            max_iters: 30,
+            tol: 1e-12,
+            alpha: 1.0,
+            lambda: 0.01,
+            ..Default::default()
+        };
+        let init = KruskalTensor::random(&[12, 12, 12], 2, cfg.seed);
+        let before =
+            primal_objective(&observed, &init, &refs, cfg.lambda, cfg.alpha).unwrap();
+        let res = AdmmSolver::new(cfg.clone()).unwrap().solve(&observed, &refs).unwrap();
+        let after =
+            primal_objective(&observed, &res.model, &refs, cfg.lambda, cfg.alpha).unwrap();
+        assert!(
+            after.total() < before.total() * 0.5,
+            "objective must drop: {} → {}",
+            before.total(),
+            after.total()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Convergence traces — the data series behind Figs. 6b and 7b.
+
+/// One sampled point of a solver run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Iteration index (0 = after the first iteration).
+    pub iter: usize,
+    /// Time at which the iteration finished. For distributed solvers this
+    /// is the cluster's *virtual* clock; for serial solvers, wall-clock
+    /// seconds.
+    pub seconds: f64,
+    /// Training RMSE over observed entries at this point.
+    pub train_rmse: f64,
+    /// `maxₙ ‖A⁽ⁿ⁾ₜ₊₁ − A⁽ⁿ⁾ₜ‖_F`, the convergence statistic.
+    pub factor_delta: f64,
+}
+
+/// A full convergence trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Sampled points in iteration order.
+    pub points: Vec<TracePoint>,
+}
+
+impl ConvergenceTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, p: TracePoint) {
+        self.points.push(p);
+    }
+
+    /// Final training RMSE, if any iterations ran.
+    pub fn final_rmse(&self) -> Option<f64> {
+        self.points.last().map(|p| p.train_rmse)
+    }
+
+    /// First time at which the training RMSE dropped to `target` or below
+    /// — the "convergence rate" comparison of §IV-E (who reaches a given
+    /// loss first).
+    pub fn time_to_rmse(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.train_rmse <= target)
+            .map(|p| p.seconds)
+    }
+
+    /// Total time of the run (time of the last point).
+    pub fn total_seconds(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.seconds)
+    }
+
+    /// `(seconds, train_rmse)` series for plotting.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.seconds, p.train_rmse)).collect()
+    }
+
+    /// True if RMSE is non-increasing within a tolerance band (used by
+    /// tests to assert sane optimization behaviour; ADMM is not strictly
+    /// monotone, hence the slack).
+    pub fn roughly_monotone(&self, slack: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].train_rmse <= w[0].train_rmse + slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(iter: usize, seconds: f64, rmse: f64) -> TracePoint {
+        TracePoint { iter, seconds, train_rmse: rmse, factor_delta: 0.0 }
+    }
+
+    #[test]
+    fn final_rmse_and_total_time() {
+        let mut t = ConvergenceTrace::new();
+        assert_eq!(t.final_rmse(), None);
+        t.push(pt(0, 1.0, 0.9));
+        t.push(pt(1, 2.5, 0.4));
+        assert_eq!(t.final_rmse(), Some(0.4));
+        assert_eq!(t.total_seconds(), 2.5);
+    }
+
+    #[test]
+    fn time_to_rmse_finds_first_crossing() {
+        let mut t = ConvergenceTrace::new();
+        t.push(pt(0, 1.0, 0.9));
+        t.push(pt(1, 2.0, 0.5));
+        t.push(pt(2, 3.0, 0.3));
+        assert_eq!(t.time_to_rmse(0.5), Some(2.0));
+        assert_eq!(t.time_to_rmse(0.1), None);
+    }
+
+    #[test]
+    fn roughly_monotone_with_slack() {
+        let mut t = ConvergenceTrace::new();
+        t.push(pt(0, 1.0, 0.5));
+        t.push(pt(1, 2.0, 0.51)); // tiny bump
+        t.push(pt(2, 3.0, 0.2));
+        assert!(t.roughly_monotone(0.02));
+        assert!(!t.roughly_monotone(0.0));
+    }
+
+    #[test]
+    fn series_pairs() {
+        let mut t = ConvergenceTrace::new();
+        t.push(pt(0, 1.0, 0.9));
+        assert_eq!(t.series(), vec![(1.0, 0.9)]);
+    }
+}

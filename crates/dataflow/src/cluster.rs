@@ -1,0 +1,421 @@
+//! The simulated cluster: virtual clock, memory ledger, traffic counters.
+
+use crate::config::{ClusterConfig, ExecMode};
+use crate::{DataflowError, Result};
+use parking_lot::Mutex;
+
+/// One task of a stage, described by the resources it consumes. The engine
+/// derives virtual time and memory pressure purely from these numbers; the
+/// actual Rust closure producing the data runs separately (and its real
+/// wall-clock time is irrelevant to the model).
+#[derive(Debug, Clone, Copy)]
+pub struct TaskCost {
+    /// Machine the task runs on.
+    pub machine: usize,
+    /// Floating-point (or equivalent) operations performed.
+    pub flops: f64,
+    /// Bytes of input the task reads.
+    pub input_bytes: u64,
+    /// Bytes of output the task produces.
+    pub output_bytes: u64,
+}
+
+/// Snapshot of the cluster's accounting counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Virtual seconds elapsed since construction.
+    pub virtual_seconds: f64,
+    /// Number of stages executed.
+    pub stages: u64,
+    /// Bytes that crossed machine boundaries in shuffles.
+    pub shuffled_bytes: u64,
+    /// Bytes replicated to machines by broadcasts.
+    pub broadcast_bytes: u64,
+    /// Bytes spilled to / read from disk (MapReduce mode only).
+    pub disk_bytes: u64,
+    /// Largest per-machine resident footprint observed, in bytes.
+    pub peak_resident: u64,
+}
+
+#[derive(Debug)]
+struct State {
+    clock: f64,
+    resident: Vec<u64>,
+    peak_resident: Vec<u64>,
+    shuffled_bytes: u64,
+    broadcast_bytes: u64,
+    disk_bytes: u64,
+    stages: u64,
+}
+
+/// The simulated cluster. All mutation happens behind a mutex so `&Cluster`
+/// can be shared freely by distributed collections.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    state: Mutex<State>,
+}
+
+impl Cluster {
+    /// Create a cluster from its configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero machines or zero cores.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.machines > 0, "cluster needs at least one machine");
+        assert!(cfg.cores_per_machine > 0, "machines need at least one core");
+        let m = cfg.machines;
+        Cluster {
+            cfg,
+            state: Mutex::new(State {
+                clock: 0.0,
+                resident: vec![0; m],
+                peak_resident: vec![0; m],
+                shuffled_bytes: 0,
+                broadcast_bytes: 0,
+                disk_bytes: 0,
+                stages: 0,
+            }),
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.cfg.machines
+    }
+
+    /// Deterministic machine assignment for a partition index.
+    pub fn machine_for_partition(&self, part: usize) -> usize {
+        part % self.cfg.machines
+    }
+
+    /// Current accounting snapshot.
+    pub fn metrics(&self) -> Metrics {
+        let s = self.state.lock();
+        Metrics {
+            virtual_seconds: s.clock,
+            stages: s.stages,
+            shuffled_bytes: s.shuffled_bytes,
+            broadcast_bytes: s.broadcast_bytes,
+            disk_bytes: s.disk_bytes,
+            peak_resident: s.peak_resident.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Virtual seconds elapsed.
+    pub fn now(&self) -> f64 {
+        self.state.lock().clock
+    }
+
+    /// Reserve `bytes` of resident memory on `machine` (persisting a
+    /// dataset partition, caching factor blocks, …). In MapReduce mode
+    /// nothing stays resident — the bytes are spilled to disk instead,
+    /// charged at disk rate.
+    pub fn reserve(&self, machine: usize, bytes: u64) -> Result<()> {
+        let mut s = self.state.lock();
+        match self.cfg.mode {
+            ExecMode::Spark => {
+                let new = s.resident[machine] + bytes;
+                if new > self.cfg.mem_per_machine {
+                    return Err(DataflowError::OutOfMemory {
+                        machine,
+                        needed: new,
+                        capacity: self.cfg.mem_per_machine,
+                    });
+                }
+                s.resident[machine] = new;
+                s.peak_resident[machine] = s.peak_resident[machine].max(new);
+                Ok(())
+            }
+            ExecMode::MapReduce => {
+                s.disk_bytes += bytes;
+                s.clock += bytes as f64 * self.cfg.cost.seconds_per_disk_byte;
+                Ok(())
+            }
+        }
+    }
+
+    /// Release resident memory reserved earlier (no-op in MapReduce mode,
+    /// mirroring [`Cluster::reserve`]).
+    pub fn release(&self, machine: usize, bytes: u64) {
+        if self.cfg.mode == ExecMode::Spark {
+            let mut s = self.state.lock();
+            s.resident[machine] = s.resident[machine].saturating_sub(bytes);
+        }
+    }
+
+    /// Execute (account) one stage. Per machine: compute time is total
+    /// task flops divided across its cores; the working set (inputs +
+    /// outputs of its tasks) must fit beside resident data; MapReduce mode
+    /// additionally pays disk I/O for all task inputs and outputs. Stage
+    /// duration is the per-stage latency plus the slowest machine.
+    pub fn run_stage(&self, tasks: &[TaskCost]) -> Result<()> {
+        let m = self.cfg.machines;
+        let mut flops = vec![0.0_f64; m];
+        let mut working = vec![0u64; m];
+        for t in tasks {
+            assert!(t.machine < m, "task names machine {} of {m}", t.machine);
+            flops[t.machine] += t.flops;
+            working[t.machine] += t.input_bytes + t.output_bytes;
+        }
+
+        let mut s = self.state.lock();
+        // Memory check first: a stage that cannot fit never runs.
+        for (mach, &work) in working.iter().enumerate() {
+            let needed = s.resident[mach] + work;
+            if needed > self.cfg.mem_per_machine {
+                return Err(DataflowError::OutOfMemory {
+                    machine: mach,
+                    needed,
+                    capacity: self.cfg.mem_per_machine,
+                });
+            }
+            s.peak_resident[mach] = s.peak_resident[mach].max(needed);
+        }
+
+        let cores = self.cfg.cores_per_machine as f64;
+        let mut slowest = 0.0_f64;
+        for mach in 0..m {
+            let mut t = flops[mach] * self.cfg.cost.seconds_per_flop / cores;
+            if let Some((straggler, slowdown)) = self.cfg.straggler {
+                if mach == straggler {
+                    t *= slowdown;
+                }
+            }
+            if self.cfg.mode == ExecMode::MapReduce {
+                t += working[mach] as f64 * self.cfg.cost.seconds_per_disk_byte;
+            }
+            slowest = slowest.max(t);
+        }
+        let latency = match self.cfg.mode {
+            ExecMode::Spark => self.cfg.cost.stage_latency,
+            ExecMode::MapReduce => {
+                s.disk_bytes += working.iter().sum::<u64>();
+                self.cfg.cost.mr_job_latency
+            }
+        };
+        s.clock += latency + slowest;
+        s.stages += 1;
+        Self::check_budget_locked(&s, &self.cfg)
+    }
+
+    /// Account a shuffle: `sent[m]` / `received[m]` are the bytes machine
+    /// `m` sends and receives. Transfers proceed in parallel, so the time
+    /// is the slowest machine's `(sent + received)` at network rate.
+    pub fn shuffle(&self, sent: &[u64], received: &[u64]) -> Result<()> {
+        assert_eq!(sent.len(), self.cfg.machines);
+        assert_eq!(received.len(), self.cfg.machines);
+        let total: u64 = sent.iter().sum();
+        debug_assert_eq!(total, received.iter().sum::<u64>(), "shuffle must conserve bytes");
+        let slowest = sent
+            .iter()
+            .zip(received)
+            .map(|(&a, &b)| a + b)
+            .max()
+            .unwrap_or(0);
+        let mut s = self.state.lock();
+        s.shuffled_bytes += total;
+        s.clock += slowest as f64 * self.cfg.cost.seconds_per_net_byte;
+        if self.cfg.mode == ExecMode::MapReduce {
+            // Map outputs are materialized to disk before reducers fetch.
+            s.disk_bytes += total;
+            s.clock += total as f64 * self.cfg.cost.seconds_per_disk_byte
+                / self.cfg.machines as f64;
+        }
+        Self::check_budget_locked(&s, &self.cfg)
+    }
+
+    /// Account a broadcast of `bytes` from the driver to every machine
+    /// (pipelined: time is one traversal; traffic is `bytes × machines`).
+    pub fn broadcast_charge(&self, bytes: u64) -> Result<()> {
+        let mut s = self.state.lock();
+        s.broadcast_bytes += bytes * self.cfg.machines as u64;
+        s.clock += bytes as f64 * self.cfg.cost.seconds_per_net_byte;
+        Self::check_budget_locked(&s, &self.cfg)
+    }
+
+    /// Account a gather of per-machine bytes to the driver (`collect`).
+    pub fn collect_charge(&self, per_machine_bytes: &[u64]) -> Result<()> {
+        let mut s = self.state.lock();
+        let total: u64 = per_machine_bytes.iter().sum();
+        s.clock += total as f64 * self.cfg.cost.seconds_per_net_byte;
+        Self::check_budget_locked(&s, &self.cfg)
+    }
+
+    /// Manually advance the virtual clock (driver-side computation).
+    pub fn advance(&self, seconds: f64) -> Result<()> {
+        let mut s = self.state.lock();
+        s.clock += seconds;
+        Self::check_budget_locked(&s, &self.cfg)
+    }
+
+    /// Convenience: account driver-side flops (single machine, no cores).
+    pub fn charge_driver_flops(&self, flops: f64) -> Result<()> {
+        self.advance(flops * self.cfg.cost.seconds_per_flop)
+    }
+
+    fn check_budget_locked(s: &State, cfg: &ClusterConfig) -> Result<()> {
+        if let Some(budget) = cfg.time_budget {
+            if s.clock > budget {
+                return Err(DataflowError::OutOfTime { elapsed: s.clock, budget });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CostModel;
+
+    fn cluster(machines: usize) -> Cluster {
+        Cluster::new(ClusterConfig::test(machines))
+    }
+
+    #[test]
+    fn stage_time_is_slowest_machine() {
+        let c = Cluster::new(ClusterConfig {
+            cost: CostModel {
+                stage_latency: 0.0,
+                seconds_per_flop: 1.0e-9,
+                ..CostModel::default()
+            },
+            ..ClusterConfig::test(2)
+        });
+        // Machine 0: 2e9 flops, machine 1: 4e9 flops; 2 cores each at 1e-9
+        // s/flop ⇒ 1 s vs 2 s ⇒ stage takes 2 s.
+        c.run_stage(&[
+            TaskCost { machine: 0, flops: 2e9, input_bytes: 0, output_bytes: 0 },
+            TaskCost { machine: 1, flops: 4e9, input_bytes: 0, output_bytes: 0 },
+        ])
+        .unwrap();
+        assert!((c.now() - 2.0).abs() < 1e-9, "clock = {}", c.now());
+    }
+
+    #[test]
+    fn stage_latency_added_per_stage() {
+        let c = cluster(1);
+        c.run_stage(&[]).unwrap();
+        c.run_stage(&[]).unwrap();
+        let m = c.metrics();
+        assert_eq!(m.stages, 2);
+        let want = 2.0 * c.config().cost.stage_latency;
+        assert!((m.virtual_seconds - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oom_when_working_set_exceeds_capacity() {
+        let c = Cluster::new(ClusterConfig::test(1).with_memory(1000));
+        let err = c
+            .run_stage(&[TaskCost {
+                machine: 0,
+                flops: 0.0,
+                input_bytes: 800,
+                output_bytes: 300,
+            }])
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::OutOfMemory { machine: 0, needed: 1100, .. }));
+    }
+
+    #[test]
+    fn resident_memory_counts_against_stages() {
+        let c = Cluster::new(ClusterConfig::test(1).with_memory(1000));
+        c.reserve(0, 700).unwrap();
+        assert!(c
+            .run_stage(&[TaskCost { machine: 0, flops: 0.0, input_bytes: 400, output_bytes: 0 }])
+            .is_err());
+        c.release(0, 700);
+        assert!(c
+            .run_stage(&[TaskCost { machine: 0, flops: 0.0, input_bytes: 400, output_bytes: 0 }])
+            .is_ok());
+    }
+
+    #[test]
+    fn reserve_beyond_capacity_fails() {
+        let c = Cluster::new(ClusterConfig::test(2).with_memory(100));
+        assert!(c.reserve(0, 90).is_ok());
+        assert!(c.reserve(0, 20).is_err());
+        assert!(c.reserve(1, 90).is_ok(), "machines are independent");
+    }
+
+    #[test]
+    fn shuffle_counts_bytes_and_time() {
+        let c = cluster(2);
+        c.shuffle(&[100, 50], &[50, 100]).unwrap();
+        let m = c.metrics();
+        assert_eq!(m.shuffled_bytes, 150);
+        // Slowest machine moves 150 bytes at the network rate.
+        let want = 150.0 * c.config().cost.seconds_per_net_byte;
+        assert!((m.virtual_seconds - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mapreduce_charges_disk() {
+        let spark = Cluster::new(ClusterConfig::test(1));
+        let mr = Cluster::new(ClusterConfig::test(1).with_mode(ExecMode::MapReduce));
+        let task = TaskCost { machine: 0, flops: 1e6, input_bytes: 1 << 20, output_bytes: 1 << 20 };
+        spark.run_stage(&[task]).unwrap();
+        mr.run_stage(&[task]).unwrap();
+        assert!(mr.now() > spark.now(), "MapReduce must be slower per stage");
+        assert_eq!(mr.metrics().disk_bytes, 2 << 20);
+        assert_eq!(spark.metrics().disk_bytes, 0);
+    }
+
+    #[test]
+    fn mapreduce_persist_goes_to_disk_not_ram() {
+        let mr = Cluster::new(
+            ClusterConfig::test(1)
+                .with_mode(ExecMode::MapReduce)
+                .with_memory(100),
+        );
+        // Far beyond RAM, but MapReduce spills, so no OOM.
+        mr.reserve(0, 10_000).unwrap();
+        assert_eq!(mr.metrics().disk_bytes, 10_000);
+        assert_eq!(mr.metrics().peak_resident, 0);
+    }
+
+    #[test]
+    fn time_budget_trips_out_of_time() {
+        let c = Cluster::new(ClusterConfig::test(1).with_time_budget(Some(1.0)));
+        let err = c.advance(2.0).unwrap_err();
+        assert!(matches!(err, DataflowError::OutOfTime { .. }));
+    }
+
+    #[test]
+    fn straggler_slows_its_machine_only() {
+        let mut cfg = ClusterConfig::test(2);
+        cfg.cost.stage_latency = 0.0;
+        cfg.straggler = Some((1, 10.0));
+        let c = Cluster::new(cfg);
+        // Balanced work, but machine 1 is 10× slower.
+        c.run_stage(&[
+            TaskCost { machine: 0, flops: 2e9, input_bytes: 0, output_bytes: 0 },
+            TaskCost { machine: 1, flops: 2e9, input_bytes: 0, output_bytes: 0 },
+        ])
+        .unwrap();
+        let want = 2e9 * c.config().cost.seconds_per_flop / 2.0 * 10.0;
+        assert!((c.now() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_traffic_scales_with_machines() {
+        let c = cluster(4);
+        c.broadcast_charge(1000).unwrap();
+        assert_eq!(c.metrics().broadcast_bytes, 4000);
+    }
+
+    #[test]
+    fn peak_resident_tracks_high_water_mark() {
+        let c = Cluster::new(ClusterConfig::test(1).with_memory(10_000));
+        c.reserve(0, 4000).unwrap();
+        c.release(0, 4000);
+        c.reserve(0, 1000).unwrap();
+        assert_eq!(c.metrics().peak_resident, 4000);
+    }
+}

@@ -1,0 +1,837 @@
+//! Typed distributed collections (the engine's RDD analog).
+//!
+//! A [`Dist<T>`] is a list of partitions pinned to machines
+//! (`partition i → machine i mod M`). Transformations execute the real
+//! Rust closure over every partition *and* account the stage's resources
+//! on the owning [`Cluster`]; shuffling transformations additionally count
+//! cross-machine record movement. The op set mirrors what the paper's
+//! §III-F implementation uses: `map`, `flatMap`, `mapPartitions`,
+//! `reduceByKey`, `aggregateByKey`(= [`Dist::group_by_key`]), `join`,
+//! broadcast variables, and persistence.
+
+use crate::cluster::{Cluster, TaskCost};
+use crate::{DataflowError, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A partitioned, machine-pinned collection bound to a cluster.
+#[derive(Debug)]
+pub struct Dist<'c, T> {
+    cluster: &'c Cluster,
+    parts: Vec<Vec<T>>,
+    record_bytes: usize,
+    persisted_bytes: Option<Vec<u64>>,
+}
+
+impl<'c, T> Dist<'c, T> {
+    /// Distribute `data` round-robin over `num_parts` partitions,
+    /// accounting the initial placement stage (the `O(nnz)` initial
+    /// shuffle of Lemma 3).
+    pub fn from_vec(cluster: &'c Cluster, data: Vec<T>, num_parts: usize) -> Result<Self> {
+        assert!(num_parts > 0, "need at least one partition");
+        let record_bytes = std::mem::size_of::<T>().max(1);
+        let mut parts: Vec<Vec<T>> = (0..num_parts).map(|_| Vec::new()).collect();
+        let n = data.len();
+        for (i, item) in data.into_iter().enumerate() {
+            parts[i % num_parts].push(item);
+        }
+        let _ = n;
+        let d = Dist { cluster, parts, record_bytes, persisted_bytes: None };
+        // Loading counts as a scatter from the driver (hosted on machine 0)
+        // plus one output-only stage.
+        let mut sent = vec![0u64; cluster.machines()];
+        let mut received = vec![0u64; cluster.machines()];
+        for (p, part) in d.parts.iter().enumerate() {
+            received[cluster.machine_for_partition(p)] += (part.len() * record_bytes) as u64;
+        }
+        sent[0] = received.iter().sum();
+        cluster.shuffle(&sent, &received)?;
+        d.stage(0.0, 1.0)?;
+        Ok(d)
+    }
+
+    /// Wrap explicit partitions without any placement charge (used when a
+    /// partitioner has already decided the layout, e.g. Algorithm 2's
+    /// blocks).
+    pub fn from_parts(cluster: &'c Cluster, parts: Vec<Vec<T>>) -> Self {
+        assert!(!parts.is_empty(), "need at least one partition");
+        Dist {
+            cluster,
+            parts,
+            record_bytes: std::mem::size_of::<T>().max(1),
+            persisted_bytes: None,
+        }
+    }
+
+    /// Override the per-record byte estimate (for records owning heap data
+    /// the engine cannot see through `size_of`).
+    pub fn with_record_bytes(mut self, bytes: usize) -> Self {
+        self.record_bytes = bytes.max(1);
+        self
+    }
+
+    /// The owning cluster.
+    pub fn cluster(&self) -> &'c Cluster {
+        self.cluster
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total records across partitions (driver-side metadata; free).
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// True when the collection holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Read-only view of the partitions (driver-side; used by algorithms
+    /// for local iteration after the distributed stages are accounted).
+    pub fn parts(&self) -> &[Vec<T>] {
+        &self.parts
+    }
+
+    /// Per-record byte estimate.
+    pub fn record_bytes(&self) -> usize {
+        self.record_bytes
+    }
+
+    /// Pin this collection in executor memory (Spark `persist`). Memory is
+    /// released on drop or [`Dist::unpersist`].
+    pub fn persist(&mut self) -> Result<()> {
+        if self.persisted_bytes.is_some() {
+            return Ok(());
+        }
+        let mut per_machine = vec![0u64; self.cluster.machines()];
+        for (p, part) in self.parts.iter().enumerate() {
+            per_machine[self.cluster.machine_for_partition(p)] +=
+                (part.len() * self.record_bytes) as u64;
+        }
+        for (m, &b) in per_machine.iter().enumerate() {
+            if b > 0 {
+                self.cluster.reserve(m, b)?;
+            }
+        }
+        self.persisted_bytes = Some(per_machine);
+        Ok(())
+    }
+
+    /// Release persisted memory.
+    pub fn unpersist(&mut self) {
+        if let Some(per_machine) = self.persisted_bytes.take() {
+            for (m, &b) in per_machine.iter().enumerate() {
+                if b > 0 {
+                    self.cluster.release(m, b);
+                }
+            }
+        }
+    }
+
+    /// Account one narrow stage over this collection's partitions.
+    fn stage(&self, flops_per_record: f64, out_ratio: f64) -> Result<()> {
+        let tasks: Vec<TaskCost> = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(p, part)| {
+                let bytes = (part.len() * self.record_bytes) as u64;
+                TaskCost {
+                    machine: self.cluster.machine_for_partition(p),
+                    flops: part.len() as f64 * flops_per_record,
+                    input_bytes: bytes,
+                    output_bytes: (bytes as f64 * out_ratio) as u64,
+                }
+            })
+            .collect();
+        self.cluster.run_stage(&tasks)
+    }
+
+    /// Element-wise transformation (Spark `map`). `flops_per_record` feeds
+    /// the time model; pass the per-record cost of `f`.
+    pub fn map<U>(&self, flops_per_record: f64, f: impl Fn(&T) -> U) -> Result<Dist<'c, U>> {
+        let out_bytes = std::mem::size_of::<U>().max(1);
+        self.stage(flops_per_record, out_bytes as f64 / self.record_bytes as f64)?;
+        let parts = self
+            .parts
+            .iter()
+            .map(|part| part.iter().map(&f).collect())
+            .collect();
+        Ok(Dist { cluster: self.cluster, parts, record_bytes: out_bytes, persisted_bytes: None })
+    }
+
+    /// One-to-many transformation (Spark `flatMap`).
+    pub fn flat_map<U>(
+        &self,
+        flops_per_record: f64,
+        f: impl Fn(&T) -> Vec<U>,
+    ) -> Result<Dist<'c, U>> {
+        let out_bytes = std::mem::size_of::<U>().max(1);
+        let parts: Vec<Vec<U>> = self
+            .parts
+            .iter()
+            .map(|part| part.iter().flat_map(&f).collect())
+            .collect();
+        let out = Dist {
+            cluster: self.cluster,
+            parts,
+            record_bytes: out_bytes,
+            persisted_bytes: None,
+        };
+        // Charge with actual output sizes.
+        let tasks: Vec<TaskCost> = self
+            .parts
+            .iter()
+            .zip(&out.parts)
+            .enumerate()
+            .map(|(p, (inp, outp))| TaskCost {
+                machine: self.cluster.machine_for_partition(p),
+                flops: inp.len() as f64 * flops_per_record,
+                input_bytes: (inp.len() * self.record_bytes) as u64,
+                output_bytes: (outp.len() * out_bytes) as u64,
+            })
+            .collect();
+        self.cluster.run_stage(&tasks)?;
+        Ok(out)
+    }
+
+    /// Keep records satisfying the predicate (Spark `filter`).
+    pub fn filter(&self, f: impl Fn(&T) -> bool) -> Result<Dist<'c, T>>
+    where
+        T: Clone,
+    {
+        self.stage(1.0, 1.0)?;
+        let parts = self
+            .parts
+            .iter()
+            .map(|part| part.iter().filter(|t| f(t)).cloned().collect())
+            .collect();
+        Ok(Dist {
+            cluster: self.cluster,
+            parts,
+            record_bytes: self.record_bytes,
+            persisted_bytes: None,
+        })
+    }
+
+    /// Whole-partition transformation (Spark `mapPartitionsWithIndex`).
+    /// `f` receives the partition index and its records; `flops` receives
+    /// the record count and returns the task's compute cost.
+    pub fn map_partitions<U>(
+        &self,
+        flops: impl Fn(usize) -> f64,
+        f: impl Fn(usize, &[T]) -> Vec<U>,
+    ) -> Result<Dist<'c, U>> {
+        let out_bytes = std::mem::size_of::<U>().max(1);
+        let parts: Vec<Vec<U>> = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(p, part)| f(p, part))
+            .collect();
+        let tasks: Vec<TaskCost> = self
+            .parts
+            .iter()
+            .zip(&parts)
+            .enumerate()
+            .map(|(p, (inp, outp))| TaskCost {
+                machine: self.cluster.machine_for_partition(p),
+                flops: flops(inp.len()),
+                input_bytes: (inp.len() * self.record_bytes) as u64,
+                output_bytes: (outp.len() * out_bytes) as u64,
+            })
+            .collect();
+        self.cluster.run_stage(&tasks)?;
+        Ok(Dist { cluster: self.cluster, parts, record_bytes: out_bytes, persisted_bytes: None })
+    }
+
+    /// Concatenate two collections partition-wise (Spark `union`): no
+    /// shuffle, partitions of `other` append after `self`'s.
+    pub fn union(&self, other: &Dist<'c, T>) -> Result<Dist<'c, T>>
+    where
+        T: Clone,
+    {
+        if !std::ptr::eq(self.cluster, other.cluster) {
+            return Err(DataflowError::Invalid("union across different clusters".into()));
+        }
+        let mut parts: Vec<Vec<T>> = self.parts.clone();
+        parts.extend(other.parts.iter().cloned());
+        let out = Dist {
+            cluster: self.cluster,
+            parts,
+            record_bytes: self.record_bytes.max(other.record_bytes),
+            persisted_bytes: None,
+        };
+        out.stage(0.0, 1.0)?;
+        Ok(out)
+    }
+
+    /// Deterministic Bernoulli sampling (Spark `sample` without
+    /// replacement): keeps each record with probability `fraction`, using
+    /// a per-partition seeded RNG stream (stable across runs).
+    pub fn sample(&self, fraction: f64, seed: u64) -> Result<Dist<'c, T>>
+    where
+        T: Clone,
+    {
+        let fraction = fraction.clamp(0.0, 1.0);
+        self.stage(1.0, fraction)?;
+        let parts = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(p, part)| {
+                // Simple splitmix64 stream; no rand dependency in the
+                // engine.
+                let mut state = seed ^ (p as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut next = move || {
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    (z ^ (z >> 31)) as f64 / u64::MAX as f64
+                };
+                part.iter().filter(|_| next() < fraction).cloned().collect()
+            })
+            .collect();
+        Ok(Dist {
+            cluster: self.cluster,
+            parts,
+            record_bytes: self.record_bytes,
+            persisted_bytes: None,
+        })
+    }
+
+    /// Gather every record to the driver (Spark `collect`), paying network
+    /// for all bytes.
+    pub fn collect(&self) -> Result<Vec<T>>
+    where
+        T: Clone,
+    {
+        let per_machine: Vec<u64> = {
+            let mut v = vec![0u64; self.cluster.machines()];
+            for (p, part) in self.parts.iter().enumerate() {
+                v[self.cluster.machine_for_partition(p)] +=
+                    (part.len() * self.record_bytes) as u64;
+            }
+            v
+        };
+        self.cluster.collect_charge(&per_machine)?;
+        Ok(self.parts.iter().flatten().cloned().collect())
+    }
+}
+
+/// Deterministic record hash for shuffle routing (FNV-1a; stable across
+/// runs and platforms, unlike `RandomState`).
+fn route<K: std::hash::Hash>(key: &K, parts: usize) -> usize {
+    struct Fnv(u64);
+    impl std::hash::Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    let mut h = Fnv(0xcbf29ce484222325);
+    std::hash::Hash::hash(key, &mut h);
+    (std::hash::Hasher::finish(&h) % parts as u64) as usize
+}
+
+impl<'c, K, V> Dist<'c, (K, V)>
+where
+    K: Clone + Ord + std::hash::Hash,
+    V: Clone,
+{
+    /// Hash-partition records by key into `num_parts` partitions,
+    /// accounting cross-machine movement. The building block of
+    /// `reduceByKey` / `groupByKey` / `join`.
+    fn shuffle_by_key(&self, num_parts: usize) -> Result<Vec<Vec<(K, V)>>> {
+        let m = self.cluster.machines();
+        let mut sent = vec![0u64; m];
+        let mut received = vec![0u64; m];
+        let mut out: Vec<Vec<(K, V)>> = (0..num_parts).map(|_| Vec::new()).collect();
+        for (p, part) in self.parts.iter().enumerate() {
+            let src = self.cluster.machine_for_partition(p);
+            for (k, v) in part {
+                let dst_part = route(k, num_parts);
+                let dst = self.cluster.machine_for_partition(dst_part);
+                if dst != src {
+                    let b = self.record_bytes as u64;
+                    sent[src] += b;
+                    received[dst] += b;
+                }
+                out[dst_part].push((k.clone(), v.clone()));
+            }
+        }
+        self.cluster.shuffle(&sent, &received)?;
+        Ok(out)
+    }
+
+    /// Spark `reduceByKey`: merge values sharing a key with `merge`,
+    /// after map-side combining (which is why this is cheaper than
+    /// `group_by_key` — the paper's §III-F replaces `groupByKey` with
+    /// `reduceByKey`/`combineByKey` for exactly this reason).
+    pub fn reduce_by_key(
+        &self,
+        num_parts: usize,
+        flops_per_record: f64,
+        merge: impl Fn(&mut V, V),
+    ) -> Result<Dist<'c, (K, V)>> {
+        // Map-side combine: shrink each partition before the shuffle.
+        let combined: Vec<Vec<(K, V)>> = self
+            .parts
+            .iter()
+            .map(|part| {
+                let mut acc: BTreeMap<K, V> = BTreeMap::new();
+                for (k, v) in part {
+                    match acc.get_mut(k) {
+                        Some(cur) => merge(cur, v.clone()),
+                        None => {
+                            acc.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            })
+            .collect();
+        let pre = Dist {
+            cluster: self.cluster,
+            parts: combined,
+            record_bytes: self.record_bytes,
+            persisted_bytes: None,
+        };
+        pre.stage(flops_per_record, 1.0)?;
+        let shuffled = pre.shuffle_by_key(num_parts)?;
+        // Reduce side.
+        let parts: Vec<Vec<(K, V)>> = shuffled
+            .into_iter()
+            .map(|part| {
+                let mut acc: BTreeMap<K, V> = BTreeMap::new();
+                for (k, v) in part {
+                    match acc.get_mut(&k) {
+                        Some(cur) => merge(cur, v),
+                        None => {
+                            acc.insert(k, v);
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            })
+            .collect();
+        let out = Dist {
+            cluster: self.cluster,
+            parts,
+            record_bytes: self.record_bytes,
+            persisted_bytes: None,
+        };
+        out.stage(flops_per_record, 1.0)?;
+        Ok(out)
+    }
+
+    /// Transform values only, keeping keys and partitioning (Spark
+    /// `mapValues`).
+    pub fn map_values<W>(
+        &self,
+        flops_per_record: f64,
+        f: impl Fn(&V) -> W,
+    ) -> Result<Dist<'c, (K, W)>> {
+        self.map(flops_per_record, |(k, v)| (k.clone(), f(v)))
+    }
+
+    /// Count records per key (Spark `countByKey`, but distributed rather
+    /// than driver-side).
+    pub fn count_by_key(&self, num_parts: usize) -> Result<Dist<'c, (K, u64)>> {
+        self.map_values(1.0, |_| 1u64)?
+            .reduce_by_key(num_parts, 1.0, |a, b| *a += b)
+    }
+
+    /// Keep one record per key (Spark `distinct` over keys): later
+    /// duplicates are dropped after a shuffle.
+    pub fn distinct_by_key(&self, num_parts: usize) -> Result<Dist<'c, (K, V)>> {
+        self.reduce_by_key(num_parts, 1.0, |_keep, _dup| {})
+    }
+
+    /// Spark `groupByKey`: collect all values per key (no map-side
+    /// combine, so the full data volume crosses the network).
+    pub fn group_by_key(&self, num_parts: usize) -> Result<Dist<'c, (K, Vec<V>)>> {
+        self.stage(1.0, 1.0)?;
+        let shuffled = self.shuffle_by_key(num_parts)?;
+        let parts: Vec<Vec<(K, Vec<V>)>> = shuffled
+            .into_iter()
+            .map(|part| {
+                let mut acc: BTreeMap<K, Vec<V>> = BTreeMap::new();
+                for (k, v) in part {
+                    acc.entry(k).or_default().push(v);
+                }
+                acc.into_iter().collect()
+            })
+            .collect();
+        let out = Dist {
+            cluster: self.cluster,
+            parts,
+            record_bytes: self.record_bytes,
+            persisted_bytes: None,
+        };
+        out.stage(1.0, 1.0)?;
+        Ok(out)
+    }
+
+    /// Zero-shuffle inner join of two collections that are *already*
+    /// co-partitioned (same partition count, same key routing). §III-F:
+    /// "we keep the same partitions when applying join to two RDDs" —
+    /// this is that optimization; [`Dist::join`] is the general path.
+    ///
+    /// Returns an error if the partition counts differ; key placement is
+    /// the caller's contract (both sides must have been produced by
+    /// key-routing ops with the same partition count).
+    pub fn join_aligned<W>(&self, other: &Dist<'c, (K, W)>) -> Result<Dist<'c, (K, (V, W))>>
+    where
+        W: Clone,
+    {
+        if !std::ptr::eq(self.cluster, other.cluster) {
+            return Err(DataflowError::Invalid("join across different clusters".into()));
+        }
+        if self.num_parts() != other.num_parts() {
+            return Err(DataflowError::Invalid(format!(
+                "join_aligned needs equal partition counts, got {} and {}",
+                self.num_parts(),
+                other.num_parts()
+            )));
+        }
+        let parts: Vec<Vec<(K, (V, W))>> = self
+            .parts
+            .iter()
+            .zip(&other.parts)
+            .map(|(l, r)| {
+                let mut rmap: BTreeMap<&K, Vec<&W>> = BTreeMap::new();
+                for (k, w) in r {
+                    rmap.entry(k).or_default().push(w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in l {
+                    if let Some(ws) = rmap.get(k) {
+                        for &w in ws {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        let record_bytes = std::mem::size_of::<(K, (V, W))>().max(1);
+        let out = Dist { cluster: self.cluster, parts, record_bytes, persisted_bytes: None };
+        out.stage(1.0, 1.0)?;
+        Ok(out)
+    }
+
+    /// Spark inner `join`: co-partition both sides by key, emit every
+    /// `(K, (V, W))` combination.
+    pub fn join<W>(&self, other: &Dist<'c, (K, W)>, num_parts: usize) -> Result<Dist<'c, (K, (V, W))>>
+    where
+        W: Clone,
+    {
+        if !std::ptr::eq(self.cluster, other.cluster) {
+            return Err(DataflowError::Invalid(
+                "join across different clusters".into(),
+            ));
+        }
+        let left = self.shuffle_by_key(num_parts)?;
+        let right = other.shuffle_by_key(num_parts)?;
+        let parts: Vec<Vec<(K, (V, W))>> = left
+            .into_iter()
+            .zip(right)
+            .map(|(l, r)| {
+                let mut rmap: BTreeMap<K, Vec<W>> = BTreeMap::new();
+                for (k, w) in r {
+                    rmap.entry(k).or_default().push(w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in l {
+                    if let Some(ws) = rmap.get(&k) {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), w.clone())));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        let record_bytes = std::mem::size_of::<(K, (V, W))>().max(1);
+        let out = Dist { cluster: self.cluster, parts, record_bytes, persisted_bytes: None };
+        out.stage(1.0, 1.0)?;
+        Ok(out)
+    }
+}
+
+impl<T> Drop for Dist<'_, T> {
+    fn drop(&mut self) {
+        self.unpersist();
+    }
+}
+
+/// A broadcast variable: one logical value replicated (and charged) to
+/// every machine. Cheap to clone; contents are shared.
+#[derive(Debug, Clone)]
+pub struct Broadcast<B> {
+    value: Arc<B>,
+}
+
+impl<B> Broadcast<B> {
+    /// Replicate `value` to all machines, charging `bytes` of network per
+    /// machine (§III-F broadcasts eigenvalue arrays and `R×R`
+    /// self-products this way).
+    pub fn new(cluster: &Cluster, value: B, bytes: u64) -> Result<Broadcast<B>> {
+        cluster.broadcast_charge(bytes)?;
+        Ok(Broadcast { value: Arc::new(value) })
+    }
+
+    /// Access the broadcast value.
+    pub fn get(&self) -> &B {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::test(3).with_time_budget(None))
+    }
+
+    #[test]
+    fn from_vec_round_robin() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, (0..10).collect(), 4).unwrap();
+        assert_eq!(d.num_parts(), 4);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.parts()[0], vec![0, 4, 8]);
+        assert_eq!(d.parts()[3], vec![3, 7]);
+    }
+
+    #[test]
+    fn map_preserves_partitioning() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![1, 2, 3, 4], 2).unwrap();
+        let doubled = d.map(1.0, |x| x * 2).unwrap();
+        assert_eq!(doubled.parts()[0], vec![2, 6]);
+        assert_eq!(doubled.parts()[1], vec![4, 8]);
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![1, 3], 1).unwrap();
+        let out = d.flat_map(1.0, |&x| vec![x; x as usize]).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, (0..10).collect(), 3).unwrap();
+        let evens = d.filter(|x| x % 2 == 0).unwrap();
+        let mut v = evens.collect().unwrap();
+        v.sort();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let c = cluster();
+        let d = Dist::from_vec(
+            &c,
+            vec![("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)],
+            3,
+        )
+        .unwrap();
+        let r = d.reduce_by_key(2, 1.0, |acc, v| *acc += v).unwrap();
+        let mut out = r.collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![("a", 4), ("b", 6), ("c", 5)]);
+    }
+
+    #[test]
+    fn group_by_key_collects_values() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![(1, 10), (2, 20), (1, 30)], 2).unwrap();
+        let g = d.group_by_key(2).unwrap();
+        let mut out = g.collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, vec![10, 30]), (2, vec![20])]);
+    }
+
+    #[test]
+    fn join_inner_semantics() {
+        let c = cluster();
+        let left = Dist::from_vec(&c, vec![(1, "l1"), (2, "l2"), (3, "l3")], 2).unwrap();
+        let right = Dist::from_vec(&c, vec![(1, 100), (1, 101), (3, 300)], 2).unwrap();
+        let j = left.join(&right, 2).unwrap();
+        let mut out = j.collect().unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![(1, ("l1", 100)), (1, ("l1", 101)), (3, ("l3", 300))]
+        );
+    }
+
+    #[test]
+    fn union_concatenates_without_shuffle() {
+        let c = cluster();
+        let a = Dist::from_vec(&c, vec![1, 2, 3], 2).unwrap();
+        let b = Dist::from_vec(&c, vec![4, 5], 1).unwrap();
+        let before = c.metrics().shuffled_bytes;
+        let u = a.union(&b).unwrap();
+        assert_eq!(c.metrics().shuffled_bytes, before);
+        assert_eq!(u.num_parts(), 3);
+        let mut v = u.collect().unwrap();
+        v.sort();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_proportional() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, (0..10_000u32).collect(), 4).unwrap();
+        let s1 = d.sample(0.3, 7).unwrap();
+        let s2 = d.sample(0.3, 7).unwrap();
+        assert_eq!(s1.collect().unwrap(), s2.collect().unwrap());
+        let n = s1.len() as f64;
+        assert!((2_500.0..3_500.0).contains(&n), "kept {n} of 10k at 30%");
+        assert_eq!(d.sample(0.0, 1).unwrap().len(), 0);
+        assert_eq!(d.sample(1.0, 1).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn map_values_and_count_by_key() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![("a", 2), ("b", 3), ("a", 4)], 2).unwrap();
+        let doubled = d.map_values(1.0, |v| v * 2).unwrap();
+        let mut v = doubled.collect().unwrap();
+        v.sort();
+        assert_eq!(v, vec![("a", 4), ("a", 8), ("b", 6)]);
+        let mut counts = d.count_by_key(2).unwrap().collect().unwrap();
+        counts.sort();
+        assert_eq!(counts, vec![("a", 2), ("b", 1)]);
+    }
+
+    #[test]
+    fn distinct_by_key_keeps_one_per_key() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![(1, "x"), (2, "y"), (1, "z")], 2).unwrap();
+        let mut v = d.distinct_by_key(2).unwrap().collect().unwrap();
+        v.sort_by_key(|&(k, _)| k);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].0, 1);
+        assert_eq!(v[1].0, 2);
+    }
+
+    #[test]
+    fn join_aligned_matches_join_without_shuffle() {
+        let c = cluster();
+        let left = Dist::from_vec(&c, vec![(1u64, "a"), (2, "b"), (3, "c")], 2).unwrap();
+        let right = Dist::from_vec(&c, vec![(1u64, 10), (3, 30), (3, 31)], 2).unwrap();
+        // Co-partition both through the same reduce (identity merge).
+        let l2 = left.reduce_by_key(3, 1.0, |_, _| {}).unwrap();
+        let r2 = right
+            .map(1.0, |&(k, v)| (k, vec![v]))
+            .unwrap()
+            .reduce_by_key(3, 1.0, |a, b| a.extend(b))
+            .unwrap();
+        let before = c.metrics().shuffled_bytes;
+        let joined = l2.join_aligned(&r2).unwrap();
+        assert_eq!(c.metrics().shuffled_bytes, before, "aligned join must not shuffle");
+        let mut out: Vec<(u64, Vec<i32>)> = joined
+            .collect()
+            .unwrap()
+            .into_iter()
+            .map(|(k, (_, mut w))| {
+                // Value order within a key follows partition order; sort
+                // for a stable comparison.
+                w.sort();
+                (k, w)
+            })
+            .collect();
+        out.sort();
+        assert_eq!(out, vec![(1, vec![10]), (3, vec![30, 31])]);
+    }
+
+    #[test]
+    fn join_aligned_rejects_mismatched_partitions() {
+        let c = cluster();
+        let left = Dist::from_vec(&c, vec![(1u64, 1u64)], 2).unwrap();
+        let right = Dist::from_vec(&c, vec![(1u64, 1u64)], 3).unwrap();
+        assert!(matches!(
+            left.join_aligned(&right),
+            Err(DataflowError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn shuffle_counts_cross_machine_traffic_only() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![(1u64, 1u64); 100], 3).unwrap();
+        let before = c.metrics().shuffled_bytes;
+        // All records share a key, so all land on one partition; records
+        // already on that machine shouldn't count.
+        let _ = d.reduce_by_key(3, 1.0, |a, b| *a += b).unwrap();
+        let after = c.metrics().shuffled_bytes;
+        // Map-side combine shrinks each of 3 partitions to one record, so
+        // at most 2 records cross machines.
+        assert!(after - before <= 2 * d.record_bytes() as u64);
+    }
+
+    #[test]
+    fn persist_reserves_and_drop_releases() {
+        let c = Cluster::new(ClusterConfig::test(1).with_memory(10_000));
+        {
+            let mut d = Dist::from_vec(&c, vec![0u64; 100], 1).unwrap();
+            d.persist().unwrap();
+            assert!(c.metrics().peak_resident >= 800);
+            // Reserving almost everything else should now fail.
+            assert!(c.reserve(0, 9_500).is_err());
+        }
+        // Dropped: memory released.
+        assert!(c.reserve(0, 9_500).is_ok());
+    }
+
+    #[test]
+    fn collect_charges_network() {
+        let c = cluster();
+        let d = Dist::from_vec(&c, vec![1u8; 1000], 2).unwrap();
+        let t0 = c.now();
+        let v = d.collect().unwrap();
+        assert_eq!(v.len(), 1000);
+        assert!(c.now() > t0);
+    }
+
+    #[test]
+    fn broadcast_provides_value_and_charges() {
+        let c = cluster();
+        let b = Broadcast::new(&c, vec![1.0f64; 10], 80).unwrap();
+        assert_eq!(b.get().len(), 10);
+        assert_eq!(c.metrics().broadcast_bytes, 240);
+    }
+
+    #[test]
+    fn deterministic_routing() {
+        // Same keys must route identically across calls (FNV is stable).
+        assert_eq!(route(&42u64, 7), route(&42u64, 7));
+        assert_eq!(route(&"key", 5), route(&"key", 5));
+    }
+
+    #[test]
+    fn oom_propagates_from_stage() {
+        let c = Cluster::new(ClusterConfig::test(1).with_memory(64));
+        let err = Dist::from_vec(&c, vec![0u64; 1000], 1).unwrap_err();
+        assert!(matches!(err, DataflowError::OutOfMemory { .. }));
+    }
+}

@@ -1,0 +1,83 @@
+//! A Spark-like in-process dataflow engine with resource accounting.
+//!
+//! The paper runs DisTenC on a 10-node Spark cluster (9 executors × 8
+//! cores, 12 GB each) and compares against MapReduce-based systems. This
+//! crate is the substitution for that infrastructure (DESIGN.md §2): a
+//! deterministic, single-process engine that executes real computation
+//! over partitioned collections while accounting for the three resources
+//! the paper's evaluation measures —
+//!
+//! * **virtual time** — per-stage wall-clock model: `max` over machines of
+//!   (compute ÷ cores) plus network transfer, per-stage scheduling
+//!   latency, and (in MapReduce mode) disk spills between stages;
+//! * **memory** — per-machine resident bytes for persisted datasets plus
+//!   per-stage working sets, with out-of-memory failures surfacing as
+//!   [`DataflowError::OutOfMemory`] (the "O.O.M." entries of Fig. 3);
+//! * **shuffled bytes** — every record that crosses a machine boundary is
+//!   counted (the quantity of Lemma 3).
+//!
+//! The host machine's physical parallelism is irrelevant: "machines" are
+//! accounting domains, and tasks execute sequentially in partition order,
+//! which makes every run bit-for-bit reproducible. Spark-vs-Hadoop is
+//! modelled by [`ExecMode`]: `MapReduce` charges disk I/O for every
+//! stage's inputs and outputs and makes caching worthless, which is the
+//! paper's explanation for SCouT/FlexiFact's slow convergence (Figs. 6b,
+//! 7b).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod dist;
+
+pub use cluster::{Cluster, Metrics};
+pub use config::{ClusterConfig, CostModel, ExecMode};
+pub use dist::{Broadcast, Dist};
+
+/// Errors surfaced by the engine. `OutOfMemory` and `OutOfTime` are
+/// *results* of the simulation (they reproduce the paper's O.O.M./O.O.T.
+/// table entries), not bugs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataflowError {
+    /// A stage's working set plus resident data exceeded a machine's
+    /// memory capacity.
+    OutOfMemory {
+        /// Machine that overflowed.
+        machine: usize,
+        /// Bytes the stage needed on that machine.
+        needed: u64,
+        /// The machine's capacity.
+        capacity: u64,
+    },
+    /// The virtual clock passed the configured time budget (the paper's
+    /// 8-hour out-of-time cutoff).
+    OutOfTime {
+        /// Virtual seconds elapsed.
+        elapsed: f64,
+        /// The configured budget.
+        budget: f64,
+    },
+    /// An operation was invoked with inconsistent arguments (e.g. joining
+    /// collections from different clusters).
+    Invalid(String),
+}
+
+impl std::fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataflowError::OutOfMemory { machine, needed, capacity } => write!(
+                f,
+                "out of memory on machine {machine}: needed {needed} B of {capacity} B"
+            ),
+            DataflowError::OutOfTime { elapsed, budget } => {
+                write!(f, "out of time: {elapsed:.1}s elapsed of {budget:.1}s budget")
+            }
+            DataflowError::Invalid(msg) => write!(f, "invalid dataflow operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataflowError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DataflowError>;

@@ -1,0 +1,124 @@
+//! Hyper-parameter sensitivity studies for the design choices DESIGN.md
+//! calls out: the trace-regularizer weight `α` and the Laplacian
+//! truncation width `K` (§III-B). Both sweeps run on the paper's
+//! `Synthetic-error` construction at a high missing rate, where auxiliary
+//! information matters most.
+
+use crate::metrics;
+use distenc_core::{AdmmConfig, AdmmSolver, Result};
+use distenc_datagen::synthetic::{error_tensor, ErrorTensor};
+use distenc_graph::Laplacian;
+use distenc_tensor::split::split_missing;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Swept parameter value.
+    pub x: f64,
+    /// Held-out relative error at that value.
+    pub relative_error: f64,
+}
+
+fn setup(dim: usize, nnz: usize) -> (ErrorTensor, Vec<Laplacian>) {
+    let data = error_tensor(&[dim, dim, dim], 4, nnz, 29);
+    let laps = data
+        .similarities
+        .iter()
+        .map(|s| Laplacian::from_similarity(s.clone()))
+        .collect();
+    (data, laps)
+}
+
+fn run_one(
+    data: &ErrorTensor,
+    laps: &[Laplacian],
+    alpha: f64,
+    eigen_k: usize,
+    missing: f64,
+) -> Result<f64> {
+    let split = split_missing(&data.observed, missing, 31);
+    let refs: Vec<Option<&Laplacian>> = laps.iter().map(Some).collect();
+    let cfg = AdmmConfig {
+        rank: 4,
+        alpha,
+        lambda: 0.05,
+        max_iters: 40,
+        tol: 1e-8,
+        eigen_k,
+        ..Default::default()
+    };
+    let res = AdmmSolver::new(cfg)?.solve(&split.train, &refs)?;
+    metrics::relative_error(&res.model, &split.test)
+}
+
+/// Sweep the auxiliary weight `α` (with `K` fixed): too little wastes the
+/// side information, too much drowns the data.
+pub fn alpha_sweep(dim: usize, nnz: usize, alphas: &[f64]) -> Result<Vec<SweepPoint>> {
+    let (data, laps) = setup(dim, nnz);
+    alphas
+        .iter()
+        .map(|&alpha| {
+            Ok(SweepPoint {
+                x: alpha,
+                relative_error: run_one(&data, &laps, alpha, dim.min(20), 0.7)?,
+            })
+        })
+        .collect()
+}
+
+/// Sweep the truncation width `K` (with `α` fixed): more eigenpairs
+/// approximate `(ηI + αL)⁻¹` better at `O(I·K·R)` extra cost per
+/// iteration — the §III-B accuracy/cost dial.
+pub fn eigen_k_sweep(dim: usize, nnz: usize, ks: &[usize]) -> Result<Vec<SweepPoint>> {
+    let (data, laps) = setup(dim, nnz);
+    ks.iter()
+        .map(|&k| {
+            Ok(SweepPoint {
+                x: k as f64,
+                relative_error: run_one(&data, &laps, 5.0, k, 0.7)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn some_alpha_beats_none() {
+        let pts = alpha_sweep(20, 3_000, &[0.0, 2.0, 8.0]).unwrap();
+        let at = |x: f64| pts.iter().find(|p| p.x == x).unwrap().relative_error;
+        let best_aux = at(2.0).min(at(8.0));
+        assert!(
+            best_aux < at(0.0),
+            "auxiliary info must help at 70% missing: α=0 gives {}, best aux {}",
+            at(0.0),
+            best_aux
+        );
+    }
+
+    #[test]
+    fn excessive_alpha_eventually_hurts() {
+        let pts = alpha_sweep(20, 3_000, &[2.0, 1000.0]).unwrap();
+        assert!(
+            pts[1].relative_error > pts[0].relative_error,
+            "α = 1000 ({}) should be worse than α = 2 ({})",
+            pts[1].relative_error,
+            pts[0].relative_error
+        );
+    }
+
+    #[test]
+    fn wider_truncation_does_not_hurt() {
+        let pts = eigen_k_sweep(20, 3_000, &[2, 10, 20]).unwrap();
+        // K = full dimension is the exact inverse; error at K = 20 must be
+        // within noise of (or better than) K = 2.
+        assert!(
+            pts[2].relative_error <= pts[0].relative_error * 1.1,
+            "K=20 ({}) vs K=2 ({})",
+            pts[2].relative_error,
+            pts[0].relative_error
+        );
+    }
+}

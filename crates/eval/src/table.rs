@@ -1,0 +1,106 @@
+//! Plain-text tables for the figure/table binaries.
+
+/// Render rows as a fixed-width text table with a header, each column as
+/// wide as its widest cell.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width must match header");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for &w in &widths {
+            out.push('+');
+            out.extend(std::iter::repeat_n('-', w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    render_row(&mut out, &widths, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    sep(&mut out);
+    for row in rows {
+        render_row(&mut out, &widths, row);
+    }
+    sep(&mut out);
+    out
+}
+
+fn render_row(out: &mut String, widths: &[usize], row: &[String]) {
+    for (w, cell) in widths.iter().zip(row) {
+        out.push_str("| ");
+        out.push_str(cell);
+        out.extend(std::iter::repeat_n(' ', w - cell.len() + 1));
+    }
+    out.push_str("|\n");
+}
+
+/// Format a float series point compactly.
+pub fn fmt_f(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(0.01..1000.0).contains(&a) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a count with SI-ish suffixes (the paper's "K/M/B" of Table II).
+pub fn fmt_count(v: u64) -> String {
+    match v {
+        0..=999 => v.to_string(),
+        1_000..=999_999 => format!("{:.0}K", v as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.0}M", v as f64 / 1e6),
+        _ => format!("{:.0}B", v as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = render(
+            &["method", "time"],
+            &[
+                vec!["DisTenC".into(), "1.0".into()],
+                vec!["ALS".into(), "123.456".into()],
+            ],
+        );
+        assert!(t.contains("| DisTenC | 1.0     |"));
+        assert!(t.contains("| ALS     | 123.456 |"));
+        assert!(t.starts_with('+'));
+    }
+
+    #[test]
+    fn fmt_f_ranges() {
+        assert_eq!(fmt_f(0.5), "0.500");
+        assert_eq!(fmt_f(12345.0), "1.234e4");
+        assert_eq!(fmt_f(f64::INFINITY), "—");
+        assert_eq!(fmt_f(0.0), "0");
+    }
+
+    #[test]
+    fn fmt_count_suffixes() {
+        assert_eq!(fmt_count(480_000), "480K");
+        assert_eq!(fmt_count(100_000_000), "100M");
+        assert_eq!(fmt_count(10_000_000_000), "10B");
+        assert_eq!(fmt_count(512), "512");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        render(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

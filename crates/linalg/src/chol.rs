@@ -1,0 +1,224 @@
+//! Cholesky factorization and SPD solves.
+//!
+//! Every factor-matrix update in Algorithm 1 / Algorithm 3 right-multiplies
+//! by `(UᵀU + λI + ηI)⁻¹`, an `R×R` symmetric positive-definite matrix.
+//! Rather than forming the inverse we factor once per update and solve.
+
+use crate::{LinalgError, Mat, Result};
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper
+    /// triangle is the caller's responsibility (all call sites build the
+    /// matrix from Gram products plus positive diagonal shifts, which are
+    /// exactly symmetric).
+    pub fn factor(a: &Mat) -> Result<Cholesky> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solve `A x = b` in place.
+    pub fn solve_vec_in_place(&self, b: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * b[k];
+            }
+            b[i] = sum / self.l.get(i, i);
+        }
+        // Back substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * b[k];
+            }
+            b[i] = sum / self.l.get(i, i);
+        }
+        Ok(())
+    }
+
+    /// Solve `A X = B` column-by-column, returning `X` with `B`'s shape.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_mat",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Mat::zeros(b.rows(), b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b.get(i, j);
+            }
+            self.solve_vec_in_place(&mut col)?;
+            for i in 0..n {
+                out.set(i, j, col[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solve `X A = B` for `X` (i.e. `X = B A⁻¹`), the orientation used by
+    /// the factor update `A⁽ⁿ⁾ ← (…)(UᵀU + λI + ηI)⁻¹`.
+    ///
+    /// Since `A` is symmetric, `X A = B  ⇔  A Xᵀ = Bᵀ`; we solve each *row*
+    /// of `B` directly and avoid materializing transposes.
+    pub fn solve_right(&self, b: &Mat) -> Result<Mat> {
+        let n = self.dim();
+        if b.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_right",
+                lhs: b.shape(),
+                rhs: (n, n),
+            });
+        }
+        let mut out = b.clone();
+        for i in 0..out.rows() {
+            self.solve_vec_in_place(out.row_mut(i))?;
+        }
+        Ok(out)
+    }
+
+    /// Explicit inverse `A⁻¹` (used only where the algorithm genuinely
+    /// caches an inverse; prefer the `solve_*` methods).
+    pub fn inverse(&self) -> Result<Mat> {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        // Gram of a random matrix plus a diagonal shift is SPD.
+        let mut g = Mat::random(n + 2, n, seed).gram();
+        g.add_diag(0.5);
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(5, 3);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        for (x, y) in rec.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_vec_matches_direct_computation() {
+        let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let mut b = vec![8.0, 7.0];
+        ch.solve_vec_in_place(&mut b).unwrap();
+        // A * x should equal the original b.
+        let ax = a.matvec(&b).unwrap();
+        assert!((ax[0] - 8.0).abs() < 1e-12);
+        assert!((ax[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_left_inverse() {
+        let a = spd(4, 9);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Mat::random(4, 3, 17);
+        let x = ch.solve_mat(&b).unwrap();
+        let ax = a.matmul(&x).unwrap();
+        for (u, v) in ax.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_right_matches_b_times_inverse() {
+        let a = spd(4, 21);
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = Mat::random(6, 4, 33);
+        let x = ch.solve_right(&b).unwrap();
+        let xa = x.matmul(&a).unwrap();
+        for (u, v) in xa.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd(5, 99);
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let eye = Mat::identity(5);
+        for (u, v) in prod.as_slice().iter().zip(eye.as_slice()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn non_spd_is_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let a = Mat::zeros(3, 2);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+}

@@ -1,0 +1,514 @@
+//! Row-major dense matrices.
+//!
+//! [`Mat`] is the workhorse type for factor matrices (`I×R`), Gram matrices
+//! (`R×R`), eigenvector bases (`I×K`), and Lagrange multipliers. It favors
+//! clarity over micro-optimization, but the inner loops are written so LLVM
+//! can vectorize them (slice iteration, no bounds checks in hot paths).
+
+use crate::{LinalgError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Create a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        Mat { rows, cols, data }
+    }
+
+    /// Build a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Mat { rows: r, cols: c, data }
+    }
+
+    /// Uniform random entries in `[0, 1)`, seeded for reproducibility.
+    ///
+    /// Factor matrices in Algorithm 1/3 are initialized non-negative, which
+    /// this satisfies.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.random::<f64>()).collect();
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: the inner loop walks contiguous rows of `rhs`
+        // and `out`, which vectorizes well.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self` (the `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` self-products of §III-C).
+    ///
+    /// Exploits symmetry: only the upper triangle is computed then mirrored.
+    pub fn gram(&self) -> Mat {
+        let r = self.cols;
+        let mut g = Mat::zeros(r, r);
+        for row in self.rows_iter() {
+            for j in 0..r {
+                let v = row[j];
+                if v == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[j * r..(j + 1) * r];
+                for (k, &w) in row.iter().enumerate().skip(j) {
+                    g_row[k] += v * w;
+                }
+            }
+        }
+        // Mirror the strictly-upper triangle into the lower one.
+        for j in 0..r {
+            for k in (j + 1)..r {
+                g.data[k * r + j] = g.data[j * r + k];
+            }
+        }
+        g
+    }
+
+    /// Element-wise (Hadamard) product, Definition 2.1.4.
+    pub fn hadamard(&self, rhs: &Mat) -> Result<Mat> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hadamard",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Mat { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Mat) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// `self + rhs` as a new matrix.
+    pub fn add(&self, rhs: &Mat) -> Result<Mat> {
+        let mut out = self.clone();
+        out.axpy(1.0, rhs)?;
+        Ok(out)
+    }
+
+    /// `self - rhs` as a new matrix.
+    pub fn sub(&self, rhs: &Mat) -> Result<Mat> {
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs)?;
+        Ok(out)
+    }
+
+    /// In-place scaling `self *= alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// `self * alpha` as a new matrix.
+    pub fn scaled(&self, alpha: f64) -> Mat {
+        let mut out = self.clone();
+        out.scale(alpha);
+        out
+    }
+
+    /// In-place `self += alpha * I` (adds to the diagonal; matrix must be
+    /// square). This is the `+ λI + ηI` shift in the factor update.
+    pub fn add_diag(&mut self, alpha: f64) {
+        debug_assert_eq!(self.rows, self.cols, "add_diag needs a square matrix");
+        let n = self.rows;
+        for i in 0..n {
+            self.data[i * n + i] += alpha;
+        }
+    }
+
+    /// Frobenius norm `‖self‖_F`.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frob_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Frobenius norm of `self - rhs`, the convergence test of Algorithm 3
+    /// (`max ‖A⁽ⁿ⁾ₜ₊₁ − A⁽ⁿ⁾ₜ‖²_F < tol`).
+    pub fn frob_dist(&self, rhs: &Mat) -> Result<f64> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "frob_dist",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt())
+    }
+
+    /// Matrix inner product `<self, rhs> = Σᵢⱼ selfᵢⱼ rhsᵢⱼ` (used by the
+    /// augmented Lagrangian, Eq. 5).
+    pub fn inner(&self, rhs: &Mat) -> Result<f64> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "inner",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        Ok(self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Clamp all entries to be non-negative (projection used when enforcing
+    /// the `A⁽ⁿ⁾ ≥ 0` constraint).
+    pub fn clamp_nonneg(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_t",
+                lhs: self.shape(),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (row, &xi) in self.rows_iter().zip(x) {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += xi * a;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// True iff every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Approximate heap size in bytes (used by the memory accounting).
+    pub fn mem_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Stack the rows selected by `indices` into a new matrix (gathering
+    /// factor-matrix rows that a tensor block touches, §III-C).
+    pub fn gather_rows(&self, indices: &[usize]) -> Mat {
+        let mut out = Mat::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Mat::random(4, 3, 7);
+        let i = Mat::identity(4);
+        let prod = i.matmul(&a).unwrap();
+        assert_eq!(prod, a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let a = Mat::random(6, 4, 42);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        for (x, y) in g.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Mat::random(5, 3, 1);
+        let g = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(g.get(i, j), g.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Mat::random(3, 5, 9);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn hadamard_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[2.0, 0.5], &[1.0, -1.0]]);
+        let h = a.hadamard(&b).unwrap();
+        assert_eq!(h, Mat::from_rows(&[&[2.0, 1.0], &[3.0, -4.0]]));
+    }
+
+    #[test]
+    fn add_diag_shifts_diagonal_only() {
+        let mut a = Mat::zeros(3, 3);
+        a.add_diag(2.5);
+        assert_eq!(a, Mat::identity(3).scaled(2.5));
+    }
+
+    #[test]
+    fn frob_norm_known_value() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frob_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matvec_and_matvec_t_agree_with_matmul() {
+        let a = Mat::random(4, 3, 11);
+        let x = vec![1.0, -2.0, 0.5];
+        let y = a.matvec(&x).unwrap();
+        let x_mat = Mat::from_vec(3, 1, x.clone());
+        let y_mat = a.matmul(&x_mat).unwrap();
+        for i in 0..4 {
+            assert!((y[i] - y_mat.get(i, 0)).abs() < 1e-12);
+        }
+        let z = a.matvec_t(&y).unwrap();
+        let z_mat = a.transpose().matmul(&y_mat).unwrap();
+        for j in 0..3 {
+            assert!((z[j] - z_mat.get(j, 0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamp_nonneg_zeroes_negatives() {
+        let mut a = Mat::from_rows(&[&[-1.0, 2.0], &[0.0, -0.5]]);
+        a.clamp_nonneg();
+        assert_eq!(a, Mat::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]));
+    }
+
+    #[test]
+    fn gather_rows_selects_expected_rows() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g, Mat::from_rows(&[&[3.0, 3.0], &[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn inner_product_known_value() {
+        let a = Mat::from_rows(&[&[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.inner(&b).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn random_is_seeded_and_in_unit_interval() {
+        let a = Mat::random(10, 10, 5);
+        let b = Mat::random(10, 10, 5);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+}

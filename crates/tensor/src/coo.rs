@@ -1,0 +1,307 @@
+//! Coordinate-format sparse tensors.
+
+use crate::{Result, TensorError};
+
+/// An N-order sparse tensor in coordinate (COO) format.
+///
+/// Indices are stored flattened: entry `e`'s index tuple occupies
+/// `indices[e*N .. (e+1)*N]`. This keeps one contiguous allocation per
+/// tensor and makes per-entry access cache-friendly during MTTKRP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor {
+    shape: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CooTensor {
+    /// An empty tensor with the given shape.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty or has a zero dimension.
+    pub fn new(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "tensor order must be ≥ 1");
+        assert!(shape.iter().all(|&d| d > 0), "dimensions must be positive");
+        CooTensor { shape, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Build from parallel `(index tuple, value)` entries, validating
+    /// bounds.
+    pub fn from_entries(shape: Vec<usize>, entries: &[(&[usize], f64)]) -> Result<Self> {
+        let mut t = CooTensor::new(shape);
+        t.reserve(entries.len());
+        for (idx, v) in entries {
+            t.push(idx, *v)?;
+        }
+        Ok(t)
+    }
+
+    /// Reserve space for `n` additional entries.
+    pub fn reserve(&mut self, n: usize) {
+        self.indices.reserve(n * self.order());
+        self.values.reserve(n);
+    }
+
+    /// Append one non-zero entry.
+    pub fn push(&mut self, index: &[usize], value: f64) -> Result<()> {
+        if index.len() != self.order()
+            || index.iter().zip(&self.shape).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        self.indices.extend_from_slice(index);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Tensor order `N` (number of modes).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Shape (mode lengths).
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of stored non-zero entries, `nnz(X)`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Index tuple of entry `e`.
+    #[allow(clippy::should_implement_trait)] // domain term: COO "index" of an entry
+    #[inline]
+    pub fn index(&self, e: usize) -> &[usize] {
+        let n = self.order();
+        &self.indices[e * n..(e + 1) * n]
+    }
+
+    /// Value of entry `e`.
+    #[inline]
+    pub fn value(&self, e: usize) -> f64 {
+        self.values[e]
+    }
+
+    /// Mutable value of entry `e`.
+    #[inline]
+    pub fn value_mut(&mut self, e: usize) -> &mut f64 {
+        &mut self.values[e]
+    }
+
+    /// All values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to all values (the Ω-masked updates rewrite values in
+    /// place while indices stay fixed).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Iterate `(index tuple, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], f64)> + '_ {
+        let n = self.order();
+        self.indices
+            .chunks_exact(n.max(1))
+            .zip(self.values.iter().copied())
+    }
+
+    /// Number of non-zeros in each slice of `mode` — the `θ⁽ⁿ⁾` histogram
+    /// that Algorithm 2 feeds its greedy boundary search.
+    pub fn slice_nnz(&self, mode: usize) -> Vec<usize> {
+        assert!(mode < self.order(), "mode {mode} out of range");
+        let mut counts = vec![0usize; self.shape[mode]];
+        let n = self.order();
+        for chunk in self.indices.chunks_exact(n) {
+            counts[chunk[mode]] += 1;
+        }
+        counts
+    }
+
+    /// Squared Frobenius norm over stored entries.
+    pub fn frob_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm over stored entries.
+    pub fn frob_norm(&self) -> f64 {
+        self.frob_norm_sq().sqrt()
+    }
+
+    /// Sort entries lexicographically by index and sum duplicates.
+    ///
+    /// Generators may emit collisions; algorithms assume each cell appears
+    /// once.
+    pub fn sort_dedup(&mut self) {
+        let n = self.order();
+        let mut order: Vec<usize> = (0..self.nnz()).collect();
+        order.sort_by(|&a, &b| self.index(a).cmp(self.index(b)));
+        let mut indices = Vec::with_capacity(self.indices.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.values.len());
+        for &e in &order {
+            let idx = self.index(e);
+            let dup = !values.is_empty() && {
+                let last = &indices[indices.len() - n..];
+                last == idx
+            };
+            if dup {
+                *values.last_mut().expect("non-empty") += self.values[e];
+            } else {
+                indices.extend_from_slice(idx);
+                values.push(self.values[e]);
+            }
+        }
+        self.indices = indices;
+        self.values = values;
+    }
+
+    /// The set of distinct indices appearing in `mode`, sorted. Determines
+    /// which factor-matrix rows are "active" (the basis of DisTenC's and
+    /// SCouT's ability to scale to 10⁹-dimensional modes with 10⁷
+    /// non-zeros; see DESIGN.md §5).
+    pub fn active_indices(&self, mode: usize) -> Vec<usize> {
+        assert!(mode < self.order(), "mode {mode} out of range");
+        let n = self.order();
+        let mut idx: Vec<usize> = self
+            .indices
+            .chunks_exact(n)
+            .map(|chunk| chunk[mode])
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    }
+
+    /// Approximate heap footprint in bytes (memory accounting).
+    pub fn mem_bytes(&self) -> usize {
+        self.indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Split entries into `parts` contiguous chunks of near-equal entry
+    /// count (a cheap non-balanced partitioning; the real balancing lives
+    /// in `distenc-partition`).
+    pub fn chunk_entries(&self, parts: usize) -> Vec<CooTensor> {
+        assert!(parts > 0);
+        let per = self.nnz().div_ceil(parts.max(1)).max(1);
+        let mut out = Vec::with_capacity(parts);
+        let mut e = 0;
+        for _ in 0..parts {
+            let mut t = CooTensor::new(self.shape.clone());
+            let end = (e + per).min(self.nnz());
+            for i in e..end {
+                t.indices.extend_from_slice(self.index(i));
+                t.values.push(self.values[i]);
+            }
+            out.push(t);
+            e = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooTensor {
+        CooTensor::from_entries(
+            vec![3, 4, 2],
+            &[
+                (&[0, 0, 0], 1.0),
+                (&[1, 2, 1], 2.0),
+                (&[2, 3, 0], 3.0),
+                (&[1, 0, 1], 4.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.shape(), &[3, 4, 2]);
+        assert_eq!(t.nnz(), 4);
+        assert_eq!(t.index(1), &[1, 2, 1]);
+        assert_eq!(t.value(2), 3.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut t = CooTensor::new(vec![2, 2]);
+        assert!(matches!(
+            t.push(&[2, 0], 1.0),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(t.push(&[0, 0, 0], 1.0).is_err()); // wrong order
+    }
+
+    #[test]
+    fn slice_nnz_counts_per_slice() {
+        let t = sample();
+        assert_eq!(t.slice_nnz(0), vec![1, 2, 1]);
+        assert_eq!(t.slice_nnz(1), vec![2, 0, 1, 1]);
+        assert_eq!(t.slice_nnz(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn frob_norm_known() {
+        let t = sample();
+        assert!((t.frob_norm_sq() - (1.0 + 4.0 + 9.0 + 16.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sort_dedup_merges_duplicates() {
+        let mut t = CooTensor::from_entries(
+            vec![2, 2],
+            &[(&[1, 1], 1.0), (&[0, 0], 2.0), (&[1, 1], 3.0)],
+        )
+        .unwrap();
+        t.sort_dedup();
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.index(0), &[0, 0]);
+        assert_eq!(t.value(0), 2.0);
+        assert_eq!(t.index(1), &[1, 1]);
+        assert_eq!(t.value(1), 4.0);
+    }
+
+    #[test]
+    fn active_indices_sorted_unique() {
+        let t = sample();
+        assert_eq!(t.active_indices(0), vec![0, 1, 2]);
+        assert_eq!(t.active_indices(1), vec![0, 2, 3]);
+        assert_eq!(t.active_indices(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn chunk_entries_covers_all() {
+        let t = sample();
+        let chunks = t.chunk_entries(3);
+        assert_eq!(chunks.len(), 3);
+        let total: usize = chunks.iter().map(|c| c.nnz()).sum();
+        assert_eq!(total, t.nnz());
+        for c in &chunks {
+            assert_eq!(c.shape(), t.shape());
+        }
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let t = sample();
+        let collected: Vec<(Vec<usize>, f64)> =
+            t.iter().map(|(i, v)| (i.to_vec(), v)).collect();
+        assert_eq!(collected.len(), 4);
+        assert_eq!(collected[3], (vec![1, 0, 1], 4.0));
+    }
+}

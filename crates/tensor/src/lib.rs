@@ -1,0 +1,80 @@
+//! Sparse tensors and CP/Kruskal algebra for the DisTenC reproduction.
+//!
+//! The paper's tensors are extremely sparse (billions of cells, ≤10⁹
+//! non-zeros), stored in coordinate (COO) format — exactly how the Spark
+//! implementation keeps them ("all entries are stored in a list with the
+//! coordinate format", §III-F). This crate provides:
+//!
+//! * [`CooTensor`] — the N-order sparse tensor, with per-mode slice
+//!   statistics (input to the greedy partitioner, Algorithm 2),
+//! * [`KruskalTensor`] — a CP factorization `[[A⁽¹⁾,…,A⁽ᴺ⁾]]`, evaluable at
+//!   individual indices in `O(R)`,
+//! * [`csf`] — SPLATT's compressed-sparse-fiber layout (§III-C cites it)
+//!   with a fiber-factorized MTTKRP,
+//! * [`mttkrp`] — the matricized-tensor-times-Khatri-Rao-product kernel and
+//!   the Gram-product identity `UᵀU = ⊛ₖ A⁽ᵏ⁾ᵀA⁽ᵏ⁾` (Eq. 12),
+//! * [`khatri_rao`] — explicit (dense) Khatri-Rao / Kronecker products and
+//!   matricizations, used as small-scale oracles in tests,
+//! * [`residual`] — the sparse residual tensor `E = Ω∗(T − [[A…]])`
+//!   (Eq. 14) that keeps every iteration `O(nnz)`,
+//! * [`dense`] — a tiny dense tensor for test oracles,
+//! * [`ttm`] — the n-mode tensor-matrix product (Definition 2.1.5),
+//! * [`split`] — train/test splitting by missing rate,
+//! * [`io`] — plain-text COO serialization.
+
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csf;
+pub mod dense;
+pub mod io;
+pub mod khatri_rao;
+pub mod kruskal;
+pub mod mttkrp;
+pub mod residual;
+pub mod split;
+pub mod ttm;
+
+pub use coo::CooTensor;
+pub use csf::CsfTensor;
+pub use dense::DenseTensor;
+pub use kruskal::KruskalTensor;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// An entry's index fell outside the tensor's shape.
+    IndexOutOfBounds {
+        /// Offending index tuple.
+        index: Vec<usize>,
+        /// Tensor shape.
+        shape: Vec<usize>,
+    },
+    /// Operand orders/shapes are incompatible.
+    ShapeMismatch(String),
+    /// Wrapped linear-algebra failure.
+    Linalg(distenc_linalg::LinalgError),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+impl From<distenc_linalg::LinalgError> for TensorError {
+    fn from(e: distenc_linalg::LinalgError) -> Self {
+        TensorError::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,174 @@
+//! MTTKRP — matricized tensor times Khatri-Rao product — and the Gram
+//! product, the two kernels §III-C builds DisTenC's factor update from.
+
+use crate::coo::CooTensor;
+use crate::{Result, TensorError};
+use distenc_linalg::Mat;
+
+/// Row-wise MTTKRP (Eq. 10/11): `H = X₍ₙ₎ U⁽ⁿ⁾` computed directly from COO
+/// entries without materializing `U⁽ⁿ⁾`:
+///
+/// `H(iₙ, :) = Σ_{x ∈ X with mode-n index iₙ} x · ⊛_{k≠n} A⁽ᵏ⁾(iₖ, :)`
+///
+/// Runs in `O(nnz(X) · N · R)` time with `O(R)` scratch — the "fiber-based"
+/// granularity of SPLATT the paper adopts.
+pub fn mttkrp(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<Mat> {
+    validate(x, factors, mode)?;
+    let r = factors[0].cols();
+    let mut h = Mat::zeros(x.shape()[mode], r);
+    let mut scratch = vec![0.0; r];
+    for (idx, v) in x.iter() {
+        scratch.iter_mut().for_each(|s| *s = v);
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            let row = f.row(idx[k]);
+            for (s, &a) in scratch.iter_mut().zip(row) {
+                *s *= a;
+            }
+        }
+        let out = h.row_mut(idx[mode]);
+        for (o, &s) in out.iter_mut().zip(&scratch) {
+            *o += s;
+        }
+    }
+    Ok(h)
+}
+
+/// The Gram product `U⁽ⁿ⁾ᵀU⁽ⁿ⁾ = ⊛_{k≠n} A⁽ᵏ⁾ᵀA⁽ᵏ⁾` (Eq. 12), an `R×R`
+/// matrix computed from cached per-factor Grams instead of the huge
+/// `U⁽ⁿ⁾`.
+pub fn gram_product(grams: &[Mat], mode: usize) -> Result<Mat> {
+    if grams.is_empty() {
+        return Err(TensorError::ShapeMismatch("no gram matrices".into()));
+    }
+    let r = grams[0].rows();
+    let mut acc = Mat::from_vec(r, r, vec![1.0; r * r]);
+    for (k, g) in grams.iter().enumerate() {
+        if k == mode {
+            continue;
+        }
+        acc = acc.hadamard(g)?;
+    }
+    Ok(acc)
+}
+
+fn validate(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<()> {
+    if factors.len() != x.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "{} factors for an order-{} tensor",
+            factors.len(),
+            x.order()
+        )));
+    }
+    if mode >= x.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order {}",
+            x.order()
+        )));
+    }
+    let r = factors[0].cols();
+    for (k, f) in factors.iter().enumerate() {
+        if f.cols() != r {
+            return Err(TensorError::ShapeMismatch("rank mismatch across factors".into()));
+        }
+        if f.rows() != x.shape()[k] {
+            return Err(TensorError::ShapeMismatch(format!(
+                "factor {k} has {} rows, tensor mode has length {}",
+                f.rows(),
+                x.shape()[k]
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseTensor;
+    use crate::khatri_rao::khatri_rao_skip;
+    use crate::kruskal::KruskalTensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(shape: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = CooTensor::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> =
+                shape.iter().map(|&d| rng.random_range(0..d)).collect();
+            t.push(&idx, rng.random::<f64>() * 2.0 - 1.0).unwrap();
+        }
+        t.sort_dedup();
+        t
+    }
+
+    #[test]
+    fn mttkrp_matches_explicit_khatri_rao() {
+        let shape = [4, 5, 3];
+        let x = random_coo(&shape, 20, 1);
+        let k = KruskalTensor::random(&shape, 3, 2);
+        for mode in 0..3 {
+            let got = mttkrp(&x, k.factors(), mode).unwrap();
+            // Oracle: densify, matricize, multiply by explicit U.
+            let dense = DenseTensor::from_coo(&x);
+            let u = khatri_rao_skip(k.factors(), mode).unwrap();
+            let want = dense.matricize(mode).matmul(&u).unwrap();
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-10, "mode {mode}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_4_order() {
+        let shape = [3, 2, 4, 2];
+        let x = random_coo(&shape, 15, 7);
+        let k = KruskalTensor::random(&shape, 2, 8);
+        for mode in 0..4 {
+            let got = mttkrp(&x, k.factors(), mode).unwrap();
+            let dense = DenseTensor::from_coo(&x);
+            let u = khatri_rao_skip(k.factors(), mode).unwrap();
+            let want = dense.matricize(mode).matmul(&u).unwrap();
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_product_matches_explicit() {
+        let k = KruskalTensor::random(&[4, 6, 5], 3, 3);
+        let grams: Vec<Mat> = k.factors().iter().map(Mat::gram).collect();
+        for mode in 0..3 {
+            let got = gram_product(&grams, mode).unwrap();
+            let u = khatri_rao_skip(k.factors(), mode).unwrap();
+            let want = u.gram();
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tensor_gives_zero_mttkrp() {
+        let x = CooTensor::new(vec![3, 3, 3]);
+        let k = KruskalTensor::random(&[3, 3, 3], 2, 4);
+        let h = mttkrp(&x, k.factors(), 0).unwrap();
+        assert_eq!(h.frob_norm(), 0.0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let x = CooTensor::new(vec![3, 3]);
+        let k = KruskalTensor::random(&[3, 3, 3], 2, 4);
+        assert!(mttkrp(&x, k.factors(), 0).is_err()); // order mismatch
+        let k2 = KruskalTensor::random(&[3, 4], 2, 4);
+        assert!(mttkrp(&x, k2.factors(), 0).is_err()); // row mismatch
+        let k3 = KruskalTensor::random(&[3, 3], 2, 4);
+        assert!(mttkrp(&x, k3.factors(), 5).is_err()); // bad mode
+    }
+}

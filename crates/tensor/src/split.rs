@@ -1,0 +1,102 @@
+//! Train/test splitting of observed entries.
+//!
+//! The paper's protocol (§IV-D/E): "randomly sample the non-zero elements
+//! based upon the missing rate as the testing data … the rest is used as
+//! the training data".
+
+use crate::coo::CooTensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test split of one observed tensor. Both halves keep the full
+/// shape so models trained on `train` can be scored on `test`.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Entries visible to the solver (Ω in the paper).
+    pub train: CooTensor,
+    /// Held-out entries used for RMSE / relative error.
+    pub test: CooTensor,
+}
+
+/// Randomly assign a `missing_rate` fraction of entries to the test set.
+///
+/// `missing_rate` is clamped to `[0, 1]`. Deterministic given `seed`.
+pub fn split_missing(observed: &CooTensor, missing_rate: f64, seed: u64) -> Split {
+    let rate = missing_rate.clamp(0.0, 1.0);
+    let nnz = observed.nnz();
+    let n_test = ((nnz as f64) * rate).round() as usize;
+    let mut order: Vec<usize> = (0..nnz).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut train = CooTensor::new(observed.shape().to_vec());
+    let mut test = CooTensor::new(observed.shape().to_vec());
+    train.reserve(nnz - n_test);
+    test.reserve(n_test);
+    for (pos, &e) in order.iter().enumerate() {
+        let (idx, v) = (observed.index(e), observed.value(e));
+        let dst = if pos < n_test { &mut test } else { &mut train };
+        dst.push(idx, v).expect("indices already validated");
+    }
+    Split { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> CooTensor {
+        let mut t = CooTensor::new(vec![n, n]);
+        for i in 0..n {
+            for j in 0..n {
+                t.push(&[i, j], (i * n + j) as f64).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn split_sizes_match_rate() {
+        let t = sample(10); // 100 entries
+        let s = split_missing(&t, 0.3, 1);
+        assert_eq!(s.test.nnz(), 30);
+        assert_eq!(s.train.nnz(), 70);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let t = sample(6);
+        let s = split_missing(&t, 0.5, 2);
+        let mut seen: Vec<Vec<usize>> = s
+            .train
+            .iter()
+            .chain(s.test.iter())
+            .map(|(i, _)| i.to_vec())
+            .collect();
+        seen.sort();
+        let mut all: Vec<Vec<usize>> = t.iter().map(|(i, _)| i.to_vec()).collect();
+        all.sort();
+        assert_eq!(seen, all);
+    }
+
+    #[test]
+    fn split_deterministic_by_seed() {
+        let t = sample(8);
+        let a = split_missing(&t, 0.4, 7);
+        let b = split_missing(&t, 0.4, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn extreme_rates_clamped() {
+        let t = sample(4);
+        let all_test = split_missing(&t, 1.5, 0);
+        assert_eq!(all_test.train.nnz(), 0);
+        assert_eq!(all_test.test.nnz(), 16);
+        let all_train = split_missing(&t, -0.1, 0);
+        assert_eq!(all_train.train.nnz(), 16);
+        assert_eq!(all_train.test.nnz(), 0);
+    }
+}

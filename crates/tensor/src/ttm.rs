@@ -1,0 +1,176 @@
+//! n-mode tensor-matrix products (Definition 2.1.5):
+//! `Y = X ×ₙ A` with `A ∈ ℝ^{Iₙ×J}`, where
+//! `Y[i₁,…,j,…,i_N] = Σ_k X[i₁,…,k,…,i_N]·A[k,j]` (Eq. 2).
+//!
+//! The completion algorithms never need TTM directly (MTTKRP subsumes
+//! their use), but it completes the paper's Table I operation set and is
+//! the building block users reach for first when projecting a completed
+//! tensor onto a basis (e.g. aggregating the time mode).
+
+use crate::coo::CooTensor;
+use crate::dense::DenseTensor;
+use crate::{Result, TensorError};
+use distenc_linalg::Mat;
+
+/// Sparse n-mode product `X ×ₙ A`: each non-zero fans out across `A`'s
+/// columns; duplicates (entries sharing all non-`mode` indices and a
+/// column) are merged. Output nnz is at most `nnz(X)·J` — TTM densifies
+/// mode `n`, so keep `J` modest.
+pub fn ttm(x: &CooTensor, a: &Mat, mode: usize) -> Result<CooTensor> {
+    if mode >= x.order() {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mode {mode} out of range for order {}",
+            x.order()
+        )));
+    }
+    if a.rows() != x.shape()[mode] {
+        return Err(TensorError::ShapeMismatch(format!(
+            "matrix has {} rows, mode {mode} has length {}",
+            a.rows(),
+            x.shape()[mode]
+        )));
+    }
+    let mut shape = x.shape().to_vec();
+    shape[mode] = a.cols();
+    let mut out = CooTensor::new(shape);
+    out.reserve(x.nnz() * a.cols());
+    let mut idx = vec![0usize; x.order()];
+    for (src_idx, v) in x.iter() {
+        idx.copy_from_slice(src_idx);
+        let row = a.row(src_idx[mode]);
+        for (j, &aj) in row.iter().enumerate() {
+            if aj == 0.0 {
+                continue;
+            }
+            idx[mode] = j;
+            out.push(&idx, v * aj)?;
+        }
+    }
+    out.sort_dedup();
+    Ok(out)
+}
+
+/// Dense oracle for [`ttm`] (test scale only).
+pub fn ttm_dense(x: &DenseTensor, a: &Mat, mode: usize) -> Result<DenseTensor> {
+    let coo = {
+        // Densify through COO for simplicity (oracle path).
+        let mut t = CooTensor::new(x.shape().to_vec());
+        let mut idx = vec![0usize; x.shape().len()];
+        fill_all(x, &mut idx, 0, &mut t)?;
+        t
+    };
+    Ok(DenseTensor::from_coo(&ttm(&coo, a, mode)?))
+}
+
+fn fill_all(
+    x: &DenseTensor,
+    idx: &mut Vec<usize>,
+    level: usize,
+    out: &mut CooTensor,
+) -> Result<()> {
+    if level == x.shape().len() {
+        let v = x.get(idx);
+        if v != 0.0 {
+            out.push(idx, v)?;
+        }
+        return Ok(());
+    }
+    for i in 0..x.shape()[level] {
+        idx[level] = i;
+        fill_all(x, idx, level + 1, out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::KruskalTensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(shape: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = CooTensor::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
+            t.push(&idx, rng.random::<f64>() * 2.0 - 1.0).unwrap();
+        }
+        t.sort_dedup();
+        t
+    }
+
+    #[test]
+    fn matches_elementwise_definition_eq_2() {
+        let x = random_coo(&[4, 5, 3], 25, 1);
+        let a = Mat::random(5, 2, 2);
+        let y = ttm(&x, &a, 1).unwrap();
+        assert_eq!(y.shape(), &[4, 2, 3]);
+        let xd = DenseTensor::from_coo(&x);
+        let yd = DenseTensor::from_coo(&y);
+        for i in 0..4 {
+            for j in 0..2 {
+                for l in 0..3 {
+                    let mut want = 0.0;
+                    for k in 0..5 {
+                        want += xd.get(&[i, k, l]) * a.get(k, j);
+                    }
+                    assert!((yd.get(&[i, j, l]) - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kruskal_identity_factor_becomes_at_a() {
+        // [[A⁽¹⁾,A⁽²⁾,A⁽³⁾]] ×ₙ M = [[…, MᵀA⁽ⁿ⁾, …]].
+        let model = KruskalTensor::random(&[4, 3, 5], 2, 3);
+        let m = Mat::random(3, 4, 4);
+        // Left side: densify the model, multiply.
+        let dense = DenseTensor::from_kruskal(&model);
+        let left = ttm_dense(&dense, &m, 1).unwrap();
+        // Right side: replace factor 1 with MᵀA⁽¹⁾.
+        let mut factors = model.factors().to_vec();
+        factors[1] = m.transpose().matmul(&factors[1]).unwrap();
+        let right = DenseTensor::from_kruskal(&KruskalTensor::new(factors).unwrap());
+        for i in 0..4 {
+            for j in 0..4 {
+                for l in 0..5 {
+                    assert!((left.get(&[i, j, l]) - right.get(&[i, j, l])).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_matrix_is_noop() {
+        let x = random_coo(&[3, 4], 8, 5);
+        let y = ttm(&x, &Mat::identity(4), 1).unwrap();
+        assert_eq!(DenseTensor::from_coo(&y), DenseTensor::from_coo(&x));
+    }
+
+    #[test]
+    fn ones_vector_sums_the_mode() {
+        // ×ₙ with a column of ones aggregates mode n (e.g. summing over
+        // time).
+        let x = random_coo(&[3, 3, 4], 15, 7);
+        let ones = Mat::from_vec(4, 1, vec![1.0; 4]);
+        let y = ttm(&x, &ones, 2).unwrap();
+        assert_eq!(y.shape(), &[3, 3, 1]);
+        let xd = DenseTensor::from_coo(&x);
+        let yd = DenseTensor::from_coo(&y);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want: f64 = (0..4).map(|t| xd.get(&[i, j, t])).sum();
+                assert!((yd.get(&[i, j, 0]) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = random_coo(&[3, 3], 5, 9);
+        assert!(ttm(&x, &Mat::identity(3), 5).is_err());
+        assert!(ttm(&x, &Mat::identity(4), 0).is_err());
+    }
+}

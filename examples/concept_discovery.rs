@@ -1,0 +1,64 @@
+//! Concept discovery on a DBLP-style author×paper×venue tensor
+//! (the paper's §IV-G / Table III experiment).
+//!
+//! Completion both imputes missing cells *and* factorizes: reading the
+//! strongest entries of each factor column reveals research communities
+//! — the paper finds Databases / Data Mining / IR; the analog plants
+//! three communities and we check they are recovered.
+//!
+//! ```sh
+//! cargo run --release --example concept_discovery
+//! ```
+
+use distenc::core::{AdmmConfig, AdmmSolver};
+use distenc::datagen::apps::dblp_like;
+use distenc::eval::discovery::{discover_concepts, mean_purity};
+use distenc::graph::Laplacian;
+use distenc::tensor::split::split_missing;
+
+fn main() {
+    // 150 authors × 200 papers × 9 venues, 3 planted concepts, plus an
+    // author-author same-affiliation similarity.
+    let data = dblp_like(150, 200, 9, 3, 8_000, 4);
+    let split = split_missing(&data.tensor, 0.5, 21);
+
+    let laps: Vec<Option<Laplacian>> = data
+        .similarity_refs()
+        .iter()
+        .map(|s| s.map(|s| Laplacian::from_similarity(s.clone())))
+        .collect();
+    let lap_refs: Vec<Option<&Laplacian>> = laps.iter().map(|l| l.as_ref()).collect();
+
+    let cfg = AdmmConfig {
+        rank: 3,
+        alpha: 5.0,
+        lambda: 0.02,
+        max_iters: 60,
+        tol: 1e-9,
+        eigen_k: 10,
+        nonneg: true, // interpretable non-negative concepts
+        ..Default::default()
+    };
+    let result = AdmmSolver::new(cfg)
+        .expect("valid config")
+        .solve(&split.train, &lap_refs)
+        .expect("solve succeeds");
+    println!(
+        "completed in {} iterations (train RMSE {:.4})",
+        result.iterations,
+        result.trace.final_rmse().unwrap()
+    );
+
+    let concepts = discover_concepts(result.model.factors(), 8);
+    let mode_names = ["authors", "papers", "venues"];
+    for c in &concepts {
+        println!("\nconcept {} (factor column {}):", c.component, c.component);
+        for (mode, members) in c.members.iter().enumerate() {
+            println!("  top {:<7}: {:?}", mode_names[mode], members);
+        }
+    }
+
+    let purity = mean_purity(&concepts, &data.communities);
+    println!("\nmean purity vs planted communities: {purity:.3}");
+    assert!(purity > 0.8, "concepts should align with planted communities");
+}

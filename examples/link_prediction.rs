@@ -1,0 +1,59 @@
+//! Link prediction on a Facebook-style user×user×time tensor (§IV-F).
+//!
+//! Completes a temporal interaction tensor and uses the recovered values
+//! to rank unobserved user pairs — the paper's second application.
+//!
+//! ```sh
+//! cargo run --release --example link_prediction
+//! ```
+
+use distenc::datagen::apps::facebook_like;
+use distenc::eval::methods::{Knobs, Method};
+use distenc::eval::metrics;
+use distenc::tensor::split::split_missing;
+
+fn main() {
+    // 200 users over 8 time bins, 8_000 observed interactions, with a
+    // user-user similarity from the same friendship communities.
+    let data = facebook_like(200, 8, 8_000, 5);
+    let split = split_missing(&data.tensor, 0.5, 13);
+    let sims = data.similarity_refs();
+    let knobs = Knobs { rank: 6, alpha: 2.0, lambda: 0.05, max_iters: 30, eigen_k: 40, ..Default::default() };
+
+    println!("training on {} links, testing on {}", split.train.nnz(), split.test.nnz());
+    let mut results = Vec::new();
+    for method in [Method::Als, Method::Scout, Method::DisTenC] {
+        let res = method.run(&split.train, &sims, &knobs).expect("run");
+        let rmse = metrics::rmse(&res.model, &split.test).unwrap();
+        println!("  {:<9} held-out RMSE {rmse:.4}", method.name());
+        results.push((method, rmse, res));
+    }
+    let als_rmse = results[0].1;
+    let dis_rmse = results[2].1;
+    println!(
+        "DisTenC improvement over ALS: {:.1}%  (paper reports 27.4% on Facebook)",
+        metrics::improvement_pct(als_rmse, dis_rmse)
+    );
+
+    // Rank candidate new links for user 3 at the last time bin: strongest
+    // predicted interactions with users it has no observed link to.
+    let dis = &results[2].2;
+    let user = 3usize;
+    let t = 7usize;
+    let known: std::collections::BTreeSet<usize> = split
+        .train
+        .iter()
+        .filter(|(idx, _)| idx[0] == user)
+        .map(|(idx, _)| idx[1])
+        .collect();
+    let mut candidates: Vec<(usize, f64)> = (0..200)
+        .filter(|&v| v != user && !known.contains(&v))
+        .map(|v| (v, dis.model.eval(&[user, v, t])))
+        .collect();
+    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop-5 predicted links for user {user}:");
+    for (v, score) in candidates.iter().take(5) {
+        println!("  user {v:>3}: strength {score:.3}");
+    }
+    assert!(dis_rmse < als_rmse, "similarity-aware completion must win");
+}

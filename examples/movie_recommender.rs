@@ -1,0 +1,62 @@
+//! Movie recommendation on a Netflix-style user×movie×time tensor
+//! (the paper's §IV-E scenario).
+//!
+//! Shows the headline application result: tensor completion with
+//! auxiliary information (a movie-movie similarity matrix) beats plain
+//! ALS on held-out ratings, and the completed model yields per-user
+//! recommendations.
+//!
+//! ```sh
+//! cargo run --release --example movie_recommender
+//! ```
+
+use distenc::datagen::apps::netflix_like;
+use distenc::eval::methods::{Knobs, Method};
+use distenc::eval::metrics;
+use distenc::tensor::split::split_missing;
+
+fn main() {
+    // A scaled Netflix analog: 300 users × 150 movies × 12 time bins,
+    // 25_000 ratings in [1, 5], with a movie-movie similarity derived
+    // from movie features (the paper builds it from titles).
+    let data = netflix_like(300, 150, 12, 25_000, 3);
+    let split = split_missing(&data.tensor, 0.5, 9);
+    let sims = data.similarity_refs();
+    let knobs = Knobs { rank: 6, alpha: 10.0, lambda: 0.05, max_iters: 30, eigen_k: 60, ..Default::default() };
+
+    let dis = Method::DisTenC
+        .run(&split.train, &sims, &knobs)
+        .expect("DisTenC run");
+    let als = Method::Als.run(&split.train, &sims, &knobs).expect("ALS run");
+
+    let rmse_dis = metrics::rmse(&dis.model, &split.test).unwrap();
+    let rmse_als = metrics::rmse(&als.model, &split.test).unwrap();
+    println!("held-out rating RMSE:");
+    println!("  DisTenC (movie similarity): {rmse_dis:.4}");
+    println!("  ALS     (no side info)    : {rmse_als:.4}");
+    println!(
+        "  improvement: {:.1}%  (paper reports an average of 14.9% on Netflix)",
+        metrics::improvement_pct(rmse_als, rmse_dis)
+    );
+
+    // Recommend: highest predicted ratings for user 0 at the latest time
+    // bin, over movies the user has not rated.
+    let user = 0usize;
+    let t_latest = 11usize;
+    let rated: std::collections::BTreeSet<usize> = split
+        .train
+        .iter()
+        .filter(|(idx, _)| idx[0] == user)
+        .map(|(idx, _)| idx[1])
+        .collect();
+    let mut scored: Vec<(usize, f64)> = (0..150)
+        .filter(|m| !rated.contains(m))
+        .map(|m| (m, dis.model.eval(&[user, m, t_latest])))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop-5 recommendations for user {user} (movie id, predicted rating):");
+    for (m, score) in scored.iter().take(5) {
+        println!("  movie {m:>3}: {score:.2}");
+    }
+    assert!(rmse_dis < rmse_als, "side information must help");
+}

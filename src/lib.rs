@@ -1,0 +1,32 @@
+//! # distenc
+//!
+//! A from-scratch Rust reproduction of **DisTenC** (Ge et al., ICDE 2018):
+//! distributed low-rank CP tensor completion with auxiliary-information
+//! (trace/graph-Laplacian) regularization via ADMM, executed on an
+//! in-process Spark-like dataflow engine with virtual-time, memory, and
+//! shuffle accounting.
+//!
+//! This umbrella crate re-exports the workspace so downstream users (and
+//! the examples under `examples/`) can depend on a single crate:
+//!
+//! * [`linalg`] — dense matrices, Cholesky, Jacobi / Lanczos eigensolvers
+//! * [`tensor`] — sparse COO tensors and CP/Kruskal algebra
+//! * [`graph`] — similarity graphs and graph Laplacians
+//! * [`dataflow`] — the simulated cluster and distributed collections
+//! * [`partition`] — greedy load-balanced tensor blocking (Algorithm 2)
+//! * [`core`] — the DisTenC algorithm itself (Algorithms 1 & 3)
+//! * [`baselines`] — ALS, TFAI, SCouT, FlexiFact comparators
+//! * [`datagen`] — synthetic workloads mirroring the paper's datasets
+//! * [`eval`] — metrics and the figure/table experiment harness
+
+#![warn(missing_docs)]
+
+pub use distenc_baselines as baselines;
+pub use distenc_core as core;
+pub use distenc_dataflow as dataflow;
+pub use distenc_datagen as datagen;
+pub use distenc_eval as eval;
+pub use distenc_graph as graph;
+pub use distenc_linalg as linalg;
+pub use distenc_partition as partition;
+pub use distenc_tensor as tensor;

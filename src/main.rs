@@ -1,0 +1,238 @@
+//! `distenc` — command-line tensor completion.
+//!
+//! ```text
+//! distenc generate --kind error --dims 40,40,40 --nnz 8000 --out data.coo
+//! distenc complete --input data.coo --rank 5 --out model.kruskal \
+//!                  [--similarity sim.coo@0]... [--alpha 2.0] [--iters 60]
+//! distenc evaluate --model model.kruskal --test held_out.coo
+//! distenc predict  --model model.kruskal --at 3,17,2
+//! ```
+//!
+//! Tensors are plain-text COO files (`# shape: …` header, one
+//! `i j k value` line per entry); similarity matrices are 2-order COO
+//! files attached to a mode with `path@mode`. Models round-trip through
+//! the same text format (`distenc_tensor::io`).
+
+use distenc::core::{AdmmConfig, AdmmSolver};
+use distenc::graph::{Laplacian, SparseSym};
+use distenc::tensor::{io, CooTensor};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "complete" => cmd_complete(rest),
+        "evaluate" => cmd_evaluate(rest),
+        "predict" => cmd_predict(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+distenc — trace-regularized tensor completion (DisTenC, ICDE 2018)
+
+USAGE:
+  distenc generate --kind <scalability|error|skewed> --dims d1,d2,.. \\
+                   --nnz N --out FILE [--seed S]
+  distenc complete --input FILE --rank R --out MODEL
+                   [--similarity FILE@MODE].. [--alpha A] [--lambda L]
+                   [--iters T] [--tol EPS] [--eigen-k K] [--seed S] [--nonneg]
+  distenc evaluate --model MODEL --test FILE
+  distenc predict  --model MODEL --at i1,i2,..";
+
+/// Parse `--key value` pairs (plus bare flags listed in `flags`).
+fn parse_opts(
+    args: &[String],
+    flags: &[&str],
+) -> Result<BTreeMap<String, String>, String> {
+    let mut out = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected an option, got `{a}`"))?;
+        if flags.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+        } else {
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            // Repeatable options accumulate separated by '\n'.
+            out.entry(key.to_string())
+                .and_modify(|cur| {
+                    cur.push('\n');
+                    cur.push_str(v);
+                })
+                .or_insert_with(|| v.clone());
+        }
+    }
+    Ok(out)
+}
+
+fn req<'a>(opts: &'a BTreeMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: `{s}`"))
+}
+
+fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    s.split(',').map(|p| parse_num(p.trim(), what)).collect()
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &[])?;
+    let kind = req(&opts, "kind")?;
+    let dims = parse_list(req(&opts, "dims")?, "dimension")?;
+    let nnz: usize = parse_num(req(&opts, "nnz")?, "nnz")?;
+    let out = req(&opts, "out")?;
+    let seed: u64 = opts.get("seed").map_or(Ok(42), |s| parse_num(s, "seed"))?;
+
+    use distenc::datagen::synthetic;
+    let tensor = match kind {
+        "scalability" => synthetic::scalability_tensor(&dims, nnz, seed),
+        "skewed" => synthetic::skewed_tensor(&dims, nnz, seed),
+        "error" => {
+            let data = synthetic::error_tensor(&dims, 5, nnz, seed);
+            // Also emit the chain similarities next to the tensor.
+            for (n, sim) in data.similarities.iter().enumerate() {
+                let path = format!("{out}.sim{n}");
+                write_similarity(sim, &path)?;
+                eprintln!("wrote mode-{n} similarity to {path}");
+            }
+            data.observed
+        }
+        other => return Err(format!("unknown --kind `{other}`")),
+    };
+    io::write_coo_file(&tensor, out).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} entries of shape {:?} to {out}", tensor.nnz(), tensor.shape());
+    Ok(())
+}
+
+fn write_similarity(s: &SparseSym, path: &str) -> Result<(), String> {
+    let mut coo = CooTensor::new(vec![s.dim(), s.dim()]);
+    for i in 0..s.dim() {
+        let (cols, vals) = s.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j >= i {
+                coo.push(&[i, j], v).map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    io::write_coo_file(&coo, path).map_err(|e| e.to_string())
+}
+
+fn read_similarity(path: &str) -> Result<SparseSym, String> {
+    let coo = io::read_coo_file(path).map_err(|e| e.to_string())?;
+    if coo.order() != 2 || coo.shape()[0] != coo.shape()[1] {
+        return Err(format!("{path}: similarity must be a square 2-order COO file"));
+    }
+    let triplets: Vec<(usize, usize, f64)> = coo
+        .iter()
+        .filter(|(idx, _)| idx[0] <= idx[1]) // upper triangle; mirrored on build
+        .map(|(idx, v)| (idx[0], idx[1], v))
+        .collect();
+    Ok(SparseSym::from_triplets(coo.shape()[0], &triplets))
+}
+
+fn cmd_complete(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &["nonneg"])?;
+    let input = req(&opts, "input")?;
+    let out = req(&opts, "out")?;
+    let observed = io::read_coo_file(input).map_err(|e| e.to_string())?;
+
+    let cfg = AdmmConfig {
+        rank: parse_num(req(&opts, "rank")?, "rank")?,
+        lambda: opts.get("lambda").map_or(Ok(0.1), |s| parse_num(s, "lambda"))?,
+        alpha: opts.get("alpha").map_or(Ok(1.0), |s| parse_num(s, "alpha"))?,
+        max_iters: opts.get("iters").map_or(Ok(60), |s| parse_num(s, "iters"))?,
+        tol: opts.get("tol").map_or(Ok(1e-4), |s| parse_num(s, "tol"))?,
+        eigen_k: opts.get("eigen-k").map_or(Ok(20), |s| parse_num(s, "eigen-k"))?,
+        seed: opts.get("seed").map_or(Ok(42), |s| parse_num(s, "seed"))?,
+        nonneg: opts.contains_key("nonneg"),
+        ..Default::default()
+    };
+
+    // --similarity FILE@MODE, repeatable.
+    let mut laps: Vec<Option<Laplacian>> = vec![None; observed.order()];
+    if let Some(specs) = opts.get("similarity") {
+        for spec in specs.split('\n') {
+            let (path, mode) = spec
+                .rsplit_once('@')
+                .ok_or_else(|| format!("--similarity needs FILE@MODE, got `{spec}`"))?;
+            let mode: usize = parse_num(mode, "similarity mode")?;
+            if mode >= observed.order() {
+                return Err(format!("mode {mode} out of range for order {}", observed.order()));
+            }
+            laps[mode] = Some(Laplacian::from_similarity(read_similarity(path)?));
+        }
+    }
+    let lap_refs: Vec<Option<&Laplacian>> = laps.iter().map(|l| l.as_ref()).collect();
+
+    let solver = AdmmSolver::new(cfg).map_err(|e| e.to_string())?;
+    let result = solver.solve(&observed, &lap_refs).map_err(|e| e.to_string())?;
+    eprintln!(
+        "completed in {} iterations (converged: {}, train RMSE {:.6})",
+        result.iterations,
+        result.converged,
+        result.trace.final_rmse().unwrap_or(f64::NAN)
+    );
+    io::write_kruskal_file(&result.model, out).map_err(|e| e.to_string())?;
+    eprintln!("wrote rank-{} model to {out}", result.model.rank());
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &[])?;
+    let model = io::read_kruskal_file(req(&opts, "model")?).map_err(|e| e.to_string())?;
+    let test = io::read_coo_file(req(&opts, "test")?).map_err(|e| e.to_string())?;
+    if test.shape() != model.shape().as_slice() {
+        return Err(format!(
+            "test shape {:?} does not match model shape {:?}",
+            test.shape(),
+            model.shape()
+        ));
+    }
+    let rmse = distenc::tensor::residual::observed_rmse(&test, &model)
+        .map_err(|e| e.to_string())?;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (idx, truth) in test.iter() {
+        let p = model.eval(idx);
+        num += (p - truth) * (p - truth);
+        den += truth * truth;
+    }
+    let rel = if den > 0.0 { (num / den).sqrt() } else { 0.0 };
+    println!("entries: {}", test.nnz());
+    println!("rmse: {rmse:.6}");
+    println!("relative_error: {rel:.6}");
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &[])?;
+    let model = io::read_kruskal_file(req(&opts, "model")?).map_err(|e| e.to_string())?;
+    let idx = parse_list(req(&opts, "at")?, "index")?;
+    let shape = model.shape();
+    if idx.len() != shape.len() || idx.iter().zip(&shape).any(|(&i, &d)| i >= d) {
+        return Err(format!("index {idx:?} out of bounds for shape {shape:?}"));
+    }
+    println!("{}", model.eval(&idx));
+    Ok(())
+}

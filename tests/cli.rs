@@ -1,0 +1,120 @@
+//! End-to-end tests of the `distenc` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_distenc"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("distenc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_complete_evaluate_predict_pipeline() {
+    let data = tmp("pipe.coo");
+    let model = tmp("pipe.kruskal");
+
+    let out = bin()
+        .args(["generate", "--kind", "error", "--dims", "20,20,20", "--nnz", "3000"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.exists());
+    let sim0 = format!("{}.sim0", data.display());
+    assert!(std::path::Path::new(&sim0).exists(), "similarities emitted");
+
+    let out = bin()
+        .args(["complete", "--input", data.to_str().unwrap(), "--rank", "5"])
+        .args(["--out", model.to_str().unwrap()])
+        .args(["--similarity", &format!("{sim0}@0"), "--alpha", "2", "--iters", "25"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("train RMSE"), "progress reported: {stderr}");
+
+    let out = bin()
+        .args(["evaluate", "--model", model.to_str().unwrap()])
+        .args(["--test", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rmse:"));
+    let rmse: f64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("rmse: "))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(rmse < 0.2, "training fit should be decent, rmse {rmse}");
+
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap(), "--at", "1,2,3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let v: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert!(v.is_finite());
+}
+
+#[test]
+fn helpful_errors() {
+    // No command.
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required option.
+    let out = bin().args(["complete", "--rank", "3"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --input"));
+
+    // Bad similarity spec.
+    let data = tmp("err.coo");
+    let out = bin()
+        .args(["generate", "--kind", "scalability", "--dims", "8,8", "--nnz", "20"])
+        .args(["--out", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["complete", "--input", data.to_str().unwrap(), "--rank", "2"])
+        .args(["--out", tmp("err.kruskal").to_str().unwrap()])
+        .args(["--similarity", "nofile"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("FILE@MODE"));
+
+    // Out-of-range prediction index.
+    let model = tmp("oob.kruskal");
+    let out = bin()
+        .args(["complete", "--input", data.to_str().unwrap(), "--rank", "2"])
+        .args(["--out", model.to_str().unwrap(), "--iters", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap(), "--at", "99,0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of bounds"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("distenc complete"));
+}

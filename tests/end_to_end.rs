@@ -1,0 +1,100 @@
+//! End-to-end pipelines across the whole stack: generate → split →
+//! complete → score, through the public umbrella crate.
+
+use distenc::datagen::apps::{facebook_like, twitter_like};
+use distenc::datagen::synthetic::error_tensor;
+use distenc::eval::figures::{self, Profile};
+use distenc::eval::methods::{Knobs, Method};
+use distenc::eval::metrics;
+use distenc::tensor::split::split_missing;
+
+#[test]
+fn synthetic_error_pipeline_recovers_signal() {
+    let data = error_tensor(&[20, 20, 20], 3, 3_000, 1);
+    let split = split_missing(&data.observed, 0.5, 2);
+    let sims = data.similarity_refs_helper();
+    let knobs = Knobs { rank: 3, alpha: 3.0, max_iters: 40, tol: 1e-8, ..Default::default() };
+    let res = Method::DisTenC.run(&split.train, &sims, &knobs).unwrap();
+    let rel = metrics::relative_error(&res.model, &split.test).unwrap();
+    assert!(rel < 0.25, "relative error {rel}");
+}
+
+/// Helper so the test reads naturally (ErrorTensor stores owned sims).
+trait SimRefs {
+    fn similarity_refs_helper(&self) -> Vec<Option<&distenc::graph::SparseSym>>;
+}
+impl SimRefs for distenc::datagen::synthetic::ErrorTensor {
+    fn similarity_refs_helper(&self) -> Vec<Option<&distenc::graph::SparseSym>> {
+        self.similarities.iter().map(Some).collect()
+    }
+}
+
+#[test]
+fn application_pipeline_beats_baseline_on_twitter() {
+    let data = twitter_like(80, 80, 10, 3_000, 3);
+    let split = split_missing(&data.tensor, 0.5, 4);
+    let sims = data.similarity_refs();
+    let knobs = Knobs { rank: 5, alpha: 2.0, max_iters: 25, eigen_k: 40, ..Default::default() };
+    let dis = Method::DisTenC.run(&split.train, &sims, &knobs).unwrap();
+    let als = Method::Als.run(&split.train, &sims, &knobs).unwrap();
+    let rmse_dis = metrics::rmse(&dis.model, &split.test).unwrap();
+    let rmse_als = metrics::rmse(&als.model, &split.test).unwrap();
+    assert!(
+        rmse_dis < rmse_als,
+        "aux info must help: DisTenC {rmse_dis} vs ALS {rmse_als}"
+    );
+}
+
+#[test]
+fn convergence_pipeline_produces_usable_series() {
+    let data = facebook_like(80, 6, 2_500, 5);
+    let knobs = Knobs { rank: 4, max_iters: 8, tol: 1e-12, eigen_k: 30, ..Default::default() };
+    let series = figures::convergence(&data, &knobs).unwrap();
+    assert_eq!(series.len(), Method::APPLICATION.len());
+    for s in &series {
+        assert_eq!(s.points.len(), 8, "{} must run all iterations", s.method.name());
+        // Virtual time strictly increases.
+        for w in s.points.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+}
+
+#[test]
+fn every_figure_driver_runs_at_quick_profile() {
+    // Smoke coverage for the full harness surface in one place.
+    assert_eq!(figures::fig3a().len(), 5);
+    assert_eq!(figures::fig3b().len(), 5);
+    assert_eq!(figures::fig3c().len(), 5);
+    assert_eq!(figures::fig4().len(), 3);
+    assert_eq!(figures::fig5(Profile::Quick).unwrap().len(), 5);
+    assert_eq!(figures::fig6a(Profile::Quick).unwrap().len(), 2);
+    assert!(!figures::fig6b(Profile::Quick).unwrap().is_empty());
+    assert!(!figures::fig7a(Profile::Quick).unwrap().is_empty());
+    assert!(!figures::fig7b(Profile::Quick).unwrap().is_empty());
+    assert_eq!(figures::table2(Profile::Quick).len(), 4);
+    assert!(figures::table3(Profile::Quick).unwrap().purity > 0.5);
+}
+
+#[test]
+fn headline_claim_distenc_handles_what_others_cannot() {
+    // The abstract's "10 ∼ 1000× larger tensors": the largest dimension
+    // completed by DisTenC vs each single-point-of-failure baseline.
+    let s = figures::fig3a();
+    let largest_ok = |name: &str| {
+        s.iter()
+            .find(|x| x.method.name() == name)
+            .unwrap()
+            .points
+            .iter()
+            .filter(|p| p.outcome.is_ok())
+            .map(|p| p.x)
+            .max()
+            .unwrap_or(0)
+    };
+    let dis = largest_ok("DisTenC");
+    assert!(dis >= 1_000_000_000);
+    assert!(dis / largest_ok("ALS") >= 100, "≥100× vs ALS");
+    assert!(dis / largest_ok("TFAI") >= 1_000, "≥1000× vs TFAI");
+    assert!(dis / largest_ok("FlexiFact") >= 100, "≥100× vs FlexiFact");
+}

@@ -1,0 +1,129 @@
+//! Empirical verification of the paper's complexity analysis (§III-E):
+//! the engine's accounting counters must scale the way Lemmas 1–3 say.
+
+use distenc::core::{AdmmConfig, DisTenC, WorkloadSpec};
+use distenc::dataflow::{Cluster, ClusterConfig, Metrics};
+use distenc::datagen::synthetic::scalability_tensor;
+
+fn run(dim: usize, nnz: usize, rank: usize, iters: usize, machines: usize) -> Metrics {
+    let observed = scalability_tensor(&[dim; 3], nnz, 99);
+    // Zero scheduling latency: the lemmas are about *work*, and at
+    // test-sized workloads a fixed per-stage cost would drown the signal.
+    let mut cc = ClusterConfig::test(machines).with_time_budget(None);
+    cc.cost.stage_latency = 0.0;
+    let cluster = Cluster::new(cc);
+    let cfg = AdmmConfig { rank, max_iters: iters, tol: 1e-15, ..Default::default() };
+    DisTenC::new(&cluster, cfg)
+        .unwrap()
+        .solve(&observed, &[None, None, None])
+        .unwrap();
+    cluster.metrics()
+}
+
+#[test]
+fn lemma1_time_scales_linearly_in_nnz() {
+    // Lemma 1's per-iteration cost is dominated by O(nnz·R) terms; with
+    // fixed dims/rank/machines, doubling nnz should roughly double the
+    // compute-dominated virtual time.
+    let t1 = run(60, 20_000, 6, 4, 2).virtual_seconds;
+    let t2 = run(60, 40_000, 6, 4, 2).virtual_seconds;
+    let ratio = t2 / t1;
+    assert!(
+        (1.5..2.6).contains(&ratio),
+        "nnz doubled, time ratio {ratio:.2} should be ≈ 2"
+    );
+}
+
+#[test]
+fn lemma1_time_scales_linearly_in_rank_at_fixed_sparsity() {
+    // At small I the R² terms are negligible and the O(nnz·N·R) sparse
+    // sweeps dominate: time ≈ linear in R.
+    let t1 = run(50, 30_000, 4, 4, 2).virtual_seconds;
+    let t2 = run(50, 30_000, 8, 4, 2).virtual_seconds;
+    let ratio = t2 / t1;
+    assert!(
+        (1.5..2.6).contains(&ratio),
+        "rank doubled, time ratio {ratio:.2} should be ≈ 2"
+    );
+}
+
+#[test]
+fn lemma2_memory_scales_with_nnz_and_rank() {
+    let base = run(60, 20_000, 4, 2, 2).peak_resident;
+    let more_nnz = run(60, 40_000, 4, 2, 2).peak_resident;
+    let more_rank = run(60, 20_000, 8, 2, 2).peak_resident;
+    assert!(more_nnz as f64 > base as f64 * 1.5, "{base} → {more_nnz}");
+    // Factor state is a minor part at this sparsity; rank growth must
+    // still be visible.
+    assert!(more_rank > base, "{base} → {more_rank}");
+}
+
+#[test]
+fn lemma2_memory_splits_across_machines() {
+    let m2 = run(60, 40_000, 6, 2, 2).peak_resident;
+    let m8 = run(60, 40_000, 6, 2, 8).peak_resident;
+    assert!(
+        (m8 as f64) < m2 as f64 * 0.5,
+        "per-machine peak must drop with machines: {m2} → {m8}"
+    );
+}
+
+#[test]
+fn lemma3_shuffle_has_setup_plus_per_iteration_structure() {
+    // O(nnz) one-time partitioning plus O(N·M·I·R + N·M·R²) per
+    // iteration: the per-iteration increment must be constant.
+    let s2 = run(60, 30_000, 6, 2, 4).shuffled_bytes;
+    let s4 = run(60, 30_000, 6, 4, 4).shuffled_bytes;
+    let s6 = run(60, 30_000, 6, 6, 4).shuffled_bytes;
+    let inc1 = s4 - s2;
+    let inc2 = s6 - s4;
+    let rel = (inc1 as f64 - inc2 as f64).abs() / inc1 as f64;
+    assert!(rel < 0.05, "per-iteration shuffle must be constant: {inc1} vs {inc2}");
+    // And the setup part scales with nnz.
+    let s_small = run(60, 15_000, 6, 2, 4).shuffled_bytes;
+    assert!(s2 > s_small, "larger input must shuffle more at setup");
+}
+
+#[test]
+fn lemma3_per_iteration_shuffle_scales_with_rank() {
+    // The per-iteration factor-row traffic is O(I·R): doubling R should
+    // roughly double the increment.
+    let inc = |rank: usize| {
+        let a = run(60, 30_000, rank, 2, 4).shuffled_bytes;
+        let b = run(60, 30_000, rank, 4, 4).shuffled_bytes;
+        (b - a) as f64
+    };
+    let r = inc(8) / inc(4);
+    assert!((1.7..2.3).contains(&r), "rank-doubling shuffle ratio {r:.2}");
+}
+
+#[test]
+fn model_and_engine_agree_on_shuffle_order_of_magnitude() {
+    // The analytical model (used at 10⁹ scale) and the engine (used at
+    // runnable scale) must describe the same algorithm.
+    let dim = 60usize;
+    let nnz = 30_000usize;
+    let rank = 6usize;
+    let iters = 4usize;
+    let machines = 4usize;
+    let metrics = run(dim, nnz, rank, iters, machines);
+
+    use distenc::core::model::{DisTenCModel, MethodModel};
+    let w = WorkloadSpec {
+        dims: vec![dim as u64; 3],
+        nnz: nnz as u64,
+        rank: rank as u64,
+        eigen_k: 0,
+        iters: iters as u64,
+    };
+    // Match the engine configuration used by `run` (zero latency).
+    let mut cc = ClusterConfig::test(machines).with_time_budget(None);
+    cc.cost.stage_latency = 0.0;
+    let model_seconds = DisTenCModel.seconds(&w, &cc);
+    let ratio = model_seconds / metrics.virtual_seconds;
+    assert!(
+        (0.33..3.0).contains(&ratio),
+        "model {model_seconds}s vs engine {}s",
+        metrics.virtual_seconds
+    );
+}
