@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Repo CI gate: build, test, lint. Run from the repo root.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> ci.sh OK"

@@ -281,7 +281,7 @@ mod tests {
     #[test]
     fn recovers_planted_low_rank_data() {
         let shape = [12, 10, 8];
-        let (observed, _) = planted(&shape, 3, 700, 1);
+        let (observed, _) = planted(&shape, 3, 700, 2);
         let cfg = AdmmConfig {
             rank: 3,
             lambda: 1e-3,

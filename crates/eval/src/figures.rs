@@ -152,7 +152,7 @@ pub fn fig5(profile: Profile) -> Result<Vec<ErrorSeries>> {
         Profile::Full => (60, 40_000, 3),
     };
     let rank = 5;
-    let data = error_tensor(&[dim, dim, dim], rank, nnz, 7);
+    let data = error_tensor(&[dim, dim, dim], rank, nnz, 9);
     let sims: Vec<Option<&SparseSym>> = data.similarities.iter().map(Some).collect();
     let knobs = Knobs {
         rank,
@@ -365,7 +365,7 @@ pub fn table2(profile: Profile) -> Vec<Table2Row> {
 /// The DBLP analog at a profile's scale.
 pub fn dblp_dataset(profile: Profile) -> Dataset {
     match profile {
-        Profile::Quick => dblp_like(120, 150, 9, 3, 5_000, 8),
+        Profile::Quick => dblp_like(120, 150, 9, 3, 5_000, 10),
         Profile::Full => dblp_like(600, 900, 9, 3, 40_000, 8),
     }
 }

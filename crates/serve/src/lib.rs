@@ -1,0 +1,85 @@
+//! # distenc-serve — model serving for completed tensors
+//!
+//! The solver's end product is a CP model `[[A⁽¹⁾…A⁽ᴺ⁾]]`; this crate
+//! turns that model into a *workload*: an immutable, mode-sharded factor
+//! store behind an [`Engine`] answering three query types —
+//!
+//! * [`Engine::point`] — one completed entry `x̂(i₁,…,i_N)`,
+//! * [`Engine::batch`] — many entries in one pass, amortizing factor-row
+//!   gathers over a shared rank loop,
+//! * [`Engine::topk`] — the best `k` indices along one free mode with all
+//!   other modes fixed (recommendation / link-scoring), pruned by
+//!   Cauchy–Schwarz norm bounds derived from the same factor-Gram
+//!   structure the solver exploits for `UᵀU` (Eqs. 11–13).
+//!
+//! Around the engine sit the production pieces: a bounded request queue
+//! with a configurable batching window ([`ServeQueue`]), per-query
+//! deadlines with graceful degradation (top-K returns best-so-far),
+//! an LRU cache for repeated top-K queries, and a [`ServeMetrics`]
+//! counter block mirroring the accounting style of `dataflow::Metrics`.
+//!
+//! ```
+//! use distenc_serve::{Engine, EngineConfig, TopKQuery};
+//! use distenc_tensor::KruskalTensor;
+//!
+//! let model = KruskalTensor::random(&[100, 50, 10], 4, 7);
+//! let engine = Engine::new(&model, EngineConfig::default()).unwrap();
+//! let score = engine.point(&[3, 17, 2]).unwrap();
+//! assert!((score - model.eval(&[3, 17, 2])).abs() == 0.0);
+//! let top = engine
+//!     .topk(&TopKQuery { mode: 1, at: vec![3, 0, 2], k: 5 }, None)
+//!     .unwrap();
+//! assert_eq!(top.items.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod store;
+pub mod topk;
+pub mod workload;
+
+pub use cache::LruCache;
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use queue::{QueueConfig, Request, Response, ServeQueue, Ticket};
+pub use store::FactorStore;
+pub use topk::{TopKItem, TopKQuery, TopKResult};
+pub use workload::{synth_trace, TraceConfig, ZipfSampler};
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A query index tuple does not match the model's shape.
+    BadQuery(String),
+    /// An engine/store/queue configuration value is invalid.
+    BadConfig(String),
+    /// The bounded request queue is at capacity.
+    QueueFull {
+        /// Configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The queue has shut down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+            ServeError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "serve queue is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,315 @@
+//! Serving-side accounting, mirroring the style of `dataflow::Metrics`:
+//! cheap always-on counters plus a snapshot struct for reporting.
+//!
+//! All counters are relaxed atomics — the serving hot path must never
+//! take a lock to count a query. Latencies go into a log₂-bucketed
+//! histogram (bucket `b` holds latencies in `[2ᵇ, 2ᵇ⁺¹)` nanoseconds),
+//! from which snapshot quantiles are interpolated.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Always-on counters for a serving engine. Shared via `Arc` between the
+/// engine, the queue workers, and whoever reports.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    point_queries: AtomicU64,
+    batch_queries: AtomicU64,
+    batch_points: AtomicU64,
+    topk_queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    deadline_misses: AtomicU64,
+    degraded_results: AtomicU64,
+    candidates_scanned: AtomicU64,
+    candidates_pruned: AtomicU64,
+    queue_rejections: AtomicU64,
+    batches_executed: AtomicU64,
+    hist: [AtomicU64; BUCKETS],
+    lat_count: AtomicU64,
+    lat_sum_nanos: AtomicU64,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            point_queries: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
+            batch_points: AtomicU64::new(0),
+            topk_queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            degraded_results: AtomicU64::new(0),
+            candidates_scanned: AtomicU64::new(0),
+            candidates_pruned: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            batches_executed: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            lat_count: AtomicU64::new(0),
+            lat_sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn point(&self) {
+        self.point_queries.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn batch(&self, points: u64) {
+        self.batch_queries.fetch_add(1, Relaxed);
+        self.batch_points.fetch_add(points, Relaxed);
+    }
+
+    pub(crate) fn topk(&self) {
+        self.topk_queries.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Relaxed);
+    }
+
+    /// A query blew its deadline before (or while) being served.
+    pub fn deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn degraded(&self) {
+        self.degraded_results.fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn scan(&self, scanned: u64, pruned: u64) {
+        self.candidates_scanned.fetch_add(scanned, Relaxed);
+        self.candidates_pruned.fetch_add(pruned, Relaxed);
+    }
+
+    /// The bounded queue rejected a submission.
+    pub fn queue_rejection(&self) {
+        self.queue_rejections.fetch_add(1, Relaxed);
+    }
+
+    /// One batch drained from the queue and executed.
+    pub fn batch_executed(&self) {
+        self.batches_executed.fetch_add(1, Relaxed);
+    }
+
+    /// Record one served-query latency.
+    pub fn record_latency(&self, lat: Duration) {
+        let nanos = lat.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.hist[bucket].fetch_add(1, Relaxed);
+        self.lat_count.fetch_add(1, Relaxed);
+        self.lat_sum_nanos.fetch_add(nanos, Relaxed);
+    }
+
+    /// Consistent-enough snapshot of all counters (individual loads are
+    /// relaxed; serving continues while snapshotting).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let hist: Vec<u64> = self.hist.iter().map(|b| b.load(Relaxed)).collect();
+        let count = self.lat_count.load(Relaxed);
+        MetricsSnapshot {
+            point_queries: self.point_queries.load(Relaxed),
+            batch_queries: self.batch_queries.load(Relaxed),
+            batch_points: self.batch_points.load(Relaxed),
+            topk_queries: self.topk_queries.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            deadline_misses: self.deadline_misses.load(Relaxed),
+            degraded_results: self.degraded_results.load(Relaxed),
+            candidates_scanned: self.candidates_scanned.load(Relaxed),
+            candidates_pruned: self.candidates_pruned.load(Relaxed),
+            queue_rejections: self.queue_rejections.load(Relaxed),
+            batches_executed: self.batches_executed.load(Relaxed),
+            p50: quantile(&hist, count, 0.50),
+            p90: quantile(&hist, count, 0.90),
+            p99: quantile(&hist, count, 0.99),
+            mean: self
+                .lat_sum_nanos
+                .load(Relaxed)
+                .checked_div(count)
+                .map_or(Duration::ZERO, Duration::from_nanos),
+            latencies_recorded: count,
+        }
+    }
+}
+
+/// Upper bound of the bucket containing quantile `q` (a conservative
+/// estimate: the true latency is at most this).
+fn quantile(hist: &[u64], count: u64, q: f64) -> Duration {
+    if count == 0 {
+        return Duration::ZERO;
+    }
+    let target = ((count as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= target {
+            // Bucket `b` holds latencies in `[2ᵇ⁻¹, 2ᵇ)` ns.
+            return Duration::from_nanos(1u64 << b.min(63));
+        }
+    }
+    Duration::from_nanos(u64::MAX)
+}
+
+/// Point-in-time copy of [`ServeMetrics`], ready for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Single-entry queries served.
+    pub point_queries: u64,
+    /// Batch queries served.
+    pub batch_queries: u64,
+    /// Entries scored across all batch queries.
+    pub batch_points: u64,
+    /// Top-K queries served (including cache hits).
+    pub topk_queries: u64,
+    /// Top-K queries answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Top-K queries that had to be computed.
+    pub cache_misses: u64,
+    /// Queries that exceeded their deadline.
+    pub deadline_misses: u64,
+    /// Top-K queries that returned a degraded (best-so-far) result.
+    pub degraded_results: u64,
+    /// Top-K candidates exactly scored.
+    pub candidates_scanned: u64,
+    /// Top-K candidates skipped by the norm bound.
+    pub candidates_pruned: u64,
+    /// Submissions rejected by the bounded queue.
+    pub queue_rejections: u64,
+    /// Batches drained from the queue.
+    pub batches_executed: u64,
+    /// Median served latency (bucket upper bound).
+    pub p50: Duration,
+    /// 90th-percentile served latency (bucket upper bound).
+    pub p90: Duration,
+    /// 99th-percentile served latency (bucket upper bound).
+    pub p99: Duration,
+    /// Mean served latency.
+    pub mean: Duration,
+    /// Number of latencies recorded.
+    pub latencies_recorded: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over top-K lookups, in `[0, 1]` (0 when unused).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of top-K candidates skipped by pruning, in `[0, 1]`.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.candidates_scanned + self.candidates_pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.candidates_pruned as f64 / total as f64
+        }
+    }
+
+    /// Total queries served (a batch counts once).
+    pub fn queries(&self) -> u64 {
+        self.point_queries + self.batch_queries + self.topk_queries
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "queries served      : {}", self.queries())?;
+        writeln!(
+            f,
+            "  point / batch / topk: {} / {} ({} entries) / {}",
+            self.point_queries, self.batch_queries, self.batch_points, self.topk_queries
+        )?;
+        writeln!(f, "batches executed    : {}", self.batches_executed)?;
+        writeln!(
+            f,
+            "cache hit rate      : {:.1}% ({} hits, {} misses)",
+            100.0 * self.cache_hit_rate(),
+            self.cache_hits,
+            self.cache_misses
+        )?;
+        writeln!(
+            f,
+            "topk prune rate     : {:.1}% ({} scanned, {} pruned)",
+            100.0 * self.prune_rate(),
+            self.candidates_scanned,
+            self.candidates_pruned
+        )?;
+        writeln!(
+            f,
+            "deadline misses     : {} ({} degraded top-K results)",
+            self.deadline_misses, self.degraded_results
+        )?;
+        writeln!(f, "queue rejections    : {}", self.queue_rejections)?;
+        write!(
+            f,
+            "latency (≤)         : p50 {:?}  p90 {:?}  p99 {:?}  mean {:?}  (n={})",
+            self.p50, self.p90, self.p99, self.mean, self.latencies_recorded
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServeMetrics::new();
+        m.point();
+        m.batch(32);
+        m.topk();
+        m.cache_hit();
+        m.cache_miss();
+        m.scan(10, 90);
+        let s = m.snapshot();
+        assert_eq!(s.point_queries, 1);
+        assert_eq!(s.batch_points, 32);
+        assert_eq!(s.queries(), 3);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.prune_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantiles_are_monotone_bounds() {
+        let m = ServeMetrics::new();
+        for micros in [1u64, 2, 5, 10, 50, 100, 500, 1000, 5000, 10_000] {
+            m.record_latency(Duration::from_micros(micros));
+        }
+        let s = m.snapshot();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        // p50 bucket bound must cover the true median (50 µs).
+        assert!(s.p50 >= Duration::from_micros(50));
+        // p99 bound is within one bucket (2x) of the max sample.
+        assert!(s.p99 <= Duration::from_micros(2 * 16_384));
+        assert_eq!(s.latencies_recorded, 10);
+        assert!(s.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_metrics_report_zeros() {
+        let s = ServeMetrics::new().snapshot();
+        assert_eq!(s.queries(), 0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.p99, Duration::ZERO);
+        // Display must not panic.
+        let _ = format!("{s}");
+    }
+}

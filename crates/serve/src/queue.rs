@@ -1,0 +1,485 @@
+//! Bounded request queue with a batching window.
+//!
+//! Callers [`submit`](ServeQueue::submit) requests and get back a
+//! [`Ticket`]; worker threads drain the queue in batches, coalescing
+//! queued point lookups into one [`Engine::batch`] call so the shared
+//! rank loop amortizes across concurrent callers. A drain waits up to the
+//! configured `window` for more work (or until `max_batch` requests are
+//! queued), trading a bounded sliver of latency for batch efficiency.
+//!
+//! Backpressure is explicit: when the queue is at capacity, `submit`
+//! returns [`ServeError::QueueFull`] instead of buffering unboundedly.
+//! Each request may carry an end-to-end deadline; requests that are
+//! already past it when drained are answered [`Response::TimedOut`]
+//! (top-K requests additionally degrade gracefully inside their own scan
+//! budget — see [`Engine::topk`]).
+//!
+//! With `workers: 0` no threads are spawned and the owner drives the
+//! queue by calling [`drain_once`](ServeQueue::drain_once) — this is the
+//! deterministic mode the tests and the replay harness use.
+
+use crate::engine::Engine;
+use crate::topk::{TopKQuery, TopKResult};
+use crate::{Result, ServeError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`ServeQueue`].
+#[derive(Debug, Clone)]
+pub struct QueueConfig {
+    /// Maximum queued (not yet drained) requests before `submit` rejects.
+    pub capacity: usize,
+    /// Maximum requests drained and executed together.
+    pub max_batch: usize,
+    /// How long a drain lingers for more work before executing a partial
+    /// batch. `Duration::ZERO` executes whatever is queued immediately.
+    pub window: Duration,
+    /// Worker threads to spawn (0 = manual draining via `drain_once`).
+    pub workers: usize,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            capacity: 1024,
+            max_batch: 64,
+            window: Duration::from_micros(200),
+            workers: 1,
+        }
+    }
+}
+
+/// A queued query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One completed entry.
+    Point {
+        /// Full index tuple.
+        index: Vec<usize>,
+    },
+    /// Many completed entries, scored in one engine pass.
+    Batch {
+        /// Full index tuples.
+        indices: Vec<Vec<usize>>,
+    },
+    /// Top-K along a free mode.
+    TopK {
+        /// The ranking query.
+        query: TopKQuery,
+        /// Optional scan budget; an expiring scan returns best-so-far.
+        budget: Option<Duration>,
+    },
+}
+
+/// The answer delivered through a [`Ticket`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Point query result.
+    Value(f64),
+    /// Batch query results, in submission order.
+    Values(Vec<f64>),
+    /// Top-K query result (possibly degraded).
+    TopK(TopKResult),
+    /// The request was invalid or the queue shut down before serving it.
+    Error(ServeError),
+    /// The request's end-to-end deadline passed before it was drained.
+    TimedOut,
+}
+
+/// Receipt for a submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the response arrives. If the queue shuts down with the
+    /// request still queued, this resolves to a `ShuttingDown` error.
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .unwrap_or(Response::Error(ServeError::ShuttingDown))
+    }
+
+    /// Wait up to `timeout` for the response.
+    pub fn wait_for(&self, timeout: Duration) -> Option<Response> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    req: Request,
+    deadline: Option<Instant>,
+    tx: SyncSender<Response>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    engine: Arc<Engine>,
+    cfg: QueueConfig,
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Bounded, batching front of an [`Engine`].
+#[derive(Debug)]
+pub struct ServeQueue {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeQueue {
+    /// Wrap `engine` and spawn the configured worker threads.
+    pub fn new(engine: Arc<Engine>, cfg: QueueConfig) -> Result<Self> {
+        if cfg.capacity == 0 || cfg.max_batch == 0 {
+            return Err(ServeError::BadConfig(
+                "queue capacity and max_batch must be at least 1".into(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            engine,
+            cfg: cfg.clone(),
+            jobs: Mutex::new(VecDeque::with_capacity(cfg.capacity)),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(ServeQueue { shared, workers })
+    }
+
+    /// Enqueue a request with no end-to-end deadline.
+    pub fn submit(&self, req: Request) -> Result<Ticket> {
+        self.submit_with_deadline(req, None)
+    }
+
+    /// Enqueue a request that must *start* executing within `deadline`
+    /// of submission; otherwise it resolves to [`Response::TimedOut`].
+    pub fn submit_with_deadline(
+        &self,
+        req: Request,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut jobs = self.shared.jobs.lock().expect("queue lock");
+            if jobs.len() >= self.shared.cfg.capacity {
+                self.shared.engine.metrics().queue_rejection();
+                return Err(ServeError::QueueFull { capacity: self.shared.cfg.capacity });
+            }
+            jobs.push_back(Job { req, deadline: deadline.map(|d| Instant::now() + d), tx });
+        }
+        self.shared.cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Requests currently queued (not yet drained).
+    pub fn len(&self) -> usize {
+        self.shared.jobs.lock().expect("queue lock").len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain and execute one batch synchronously (no waiting, no window).
+    /// Returns the number of requests served. This is how a `workers: 0`
+    /// queue is driven.
+    pub fn drain_once(&self) -> usize {
+        let batch = take_batch(&self.shared);
+        let n = batch.len();
+        if n > 0 {
+            execute(&self.shared, batch);
+        }
+        n
+    }
+
+    /// Stop accepting work, let workers finish what is queued, and join
+    /// them. Idempotent; also invoked on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // In manual mode (or if workers were already gone) serve the
+        // stragglers here so no ticket is left dangling.
+        loop {
+            let batch = take_batch(&self.shared);
+            if batch.is_empty() {
+                break;
+            }
+            execute(&self.shared, batch);
+        }
+    }
+}
+
+impl Drop for ServeQueue {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pop up to `max_batch` jobs without blocking.
+fn take_batch(shared: &Shared) -> Vec<Job> {
+    let mut jobs = shared.jobs.lock().expect("queue lock");
+    let n = jobs.len().min(shared.cfg.max_batch);
+    jobs.drain(..n).collect()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut jobs = shared.jobs.lock().expect("queue lock");
+            // Sleep until there is work or we are told to stop.
+            while jobs.is_empty() {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                jobs = shared.cv.wait(jobs).expect("queue lock");
+            }
+            // Batching window: linger for more work unless shutting down.
+            if shared.cfg.window > Duration::ZERO && !shared.shutdown.load(Ordering::Acquire)
+            {
+                let until = Instant::now() + shared.cfg.window;
+                while jobs.len() < shared.cfg.max_batch {
+                    let now = Instant::now();
+                    if now >= until || shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .cv
+                        .wait_timeout(jobs, until - now)
+                        .expect("queue lock");
+                    jobs = guard;
+                }
+            }
+            let n = jobs.len().min(shared.cfg.max_batch);
+            jobs.drain(..n).collect::<Vec<_>>()
+        };
+        execute(shared, batch);
+    }
+}
+
+/// Serve one drained batch: validate, coalesce point lookups into a
+/// single engine batch call, run batch/top-K jobs individually, and
+/// deliver every response.
+fn execute(shared: &Shared, jobs: Vec<Job>) {
+    let engine = &shared.engine;
+    engine.metrics().batch_executed();
+    let now = Instant::now();
+    let mut responses: Vec<Option<Response>> = (0..jobs.len()).map(|_| None).collect();
+    let mut point_slots: Vec<usize> = Vec::new();
+    let mut point_indices: Vec<Vec<usize>> = Vec::new();
+
+    for (slot, job) in jobs.iter().enumerate() {
+        if let Some(dl) = job.deadline {
+            if now > dl {
+                engine.metrics().deadline_miss();
+                responses[slot] = Some(Response::TimedOut);
+                continue;
+            }
+        }
+        match &job.req {
+            Request::Point { index } => match engine.validate_index(index) {
+                Ok(()) => {
+                    point_slots.push(slot);
+                    point_indices.push(index.clone());
+                }
+                Err(e) => responses[slot] = Some(Response::Error(e)),
+            },
+            Request::Batch { indices } => {
+                responses[slot] = Some(match engine.batch(indices) {
+                    Ok(values) => Response::Values(values),
+                    Err(e) => Response::Error(e),
+                });
+            }
+            Request::TopK { query, budget } => {
+                // Clip the scan budget to whatever end-to-end time remains.
+                let remaining = job.deadline.map(|dl| dl.saturating_duration_since(now));
+                let effective = match (*budget, remaining) {
+                    (Some(b), Some(r)) => Some(b.min(r)),
+                    (Some(b), None) => Some(b),
+                    (None, r) => r,
+                };
+                responses[slot] = Some(match engine.topk(query, effective) {
+                    Ok(res) => Response::TopK(res),
+                    Err(e) => Response::Error(e),
+                });
+            }
+        }
+    }
+
+    if !point_indices.is_empty() {
+        match engine.batch(&point_indices) {
+            Ok(values) => {
+                for (&slot, value) in point_slots.iter().zip(values) {
+                    responses[slot] = Some(Response::Value(value));
+                }
+            }
+            Err(e) => {
+                for &slot in &point_slots {
+                    responses[slot] = Some(Response::Error(e.clone()));
+                }
+            }
+        }
+    }
+
+    for (job, response) in jobs.into_iter().zip(responses) {
+        let response =
+            response.unwrap_or(Response::Error(ServeError::BadQuery("unserved job".into())));
+        // A dropped ticket just means the caller stopped waiting.
+        let _ = job.tx.send(response);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use distenc_tensor::KruskalTensor;
+
+    fn test_engine() -> Arc<Engine> {
+        let model = KruskalTensor::random(&[40, 20, 10], 4, 21);
+        Arc::new(Engine::new(&model, EngineConfig::default()).unwrap())
+    }
+
+    fn manual_cfg() -> QueueConfig {
+        QueueConfig { workers: 0, window: Duration::ZERO, ..Default::default() }
+    }
+
+    #[test]
+    fn manual_drain_coalesces_points() {
+        let engine = test_engine();
+        let queue = ServeQueue::new(Arc::clone(&engine), manual_cfg()).unwrap();
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| queue.submit(Request::Point { index: vec![i, i, i % 10] }).unwrap())
+            .collect();
+        assert_eq!(queue.len(), 10);
+        assert_eq!(queue.drain_once(), 10);
+        for (i, t) in tickets.into_iter().enumerate() {
+            let idx = [i, i, i % 10];
+            match t.wait() {
+                Response::Value(v) => assert_eq!(v, engine.point(&idx).unwrap()),
+                other => panic!("expected value, got {other:?}"),
+            }
+        }
+        // All ten points were served by ONE coalesced engine batch call.
+        let s = engine.snapshot();
+        assert_eq!(s.batches_executed, 1);
+        assert_eq!(s.batch_queries, 1);
+        assert_eq!(s.batch_points, 10);
+    }
+
+    #[test]
+    fn queue_rejects_when_full() {
+        let engine = test_engine();
+        let cfg = QueueConfig { capacity: 2, ..manual_cfg() };
+        let queue = ServeQueue::new(Arc::clone(&engine), cfg).unwrap();
+        let _t1 = queue.submit(Request::Point { index: vec![0, 0, 0] }).unwrap();
+        let _t2 = queue.submit(Request::Point { index: vec![1, 1, 1] }).unwrap();
+        match queue.submit(Request::Point { index: vec![2, 2, 2] }) {
+            Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(engine.snapshot().queue_rejections, 1);
+        queue.drain_once();
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let engine = test_engine();
+        let queue = ServeQueue::new(Arc::clone(&engine), manual_cfg()).unwrap();
+        let late = queue
+            .submit_with_deadline(
+                Request::Point { index: vec![1, 2, 3] },
+                Some(Duration::ZERO),
+            )
+            .unwrap();
+        let fine = queue.submit(Request::Point { index: vec![1, 2, 3] }).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        queue.drain_once();
+        assert_eq!(late.wait(), Response::TimedOut);
+        assert!(matches!(fine.wait(), Response::Value(_)));
+        assert_eq!(engine.snapshot().deadline_misses, 1);
+    }
+
+    #[test]
+    fn invalid_requests_fail_individually() {
+        let engine = test_engine();
+        let queue = ServeQueue::new(engine, manual_cfg()).unwrap();
+        let bad = queue.submit(Request::Point { index: vec![99, 0, 0] }).unwrap();
+        let good = queue.submit(Request::Point { index: vec![0, 0, 0] }).unwrap();
+        queue.drain_once();
+        assert!(matches!(bad.wait(), Response::Error(ServeError::BadQuery(_))));
+        assert!(matches!(good.wait(), Response::Value(_)));
+    }
+
+    #[test]
+    fn worker_threads_serve_mixed_load() {
+        let engine = test_engine();
+        let cfg = QueueConfig {
+            workers: 2,
+            window: Duration::from_micros(100),
+            ..Default::default()
+        };
+        let queue = ServeQueue::new(Arc::clone(&engine), cfg).unwrap();
+        let mut tickets = Vec::new();
+        for i in 0..100usize {
+            let req = match i % 3 {
+                0 => Request::Point { index: vec![i % 40, i % 20, i % 10] },
+                1 => Request::Batch {
+                    indices: vec![vec![0, 0, 0], vec![i % 40, i % 20, i % 10]],
+                },
+                _ => Request::TopK {
+                    query: TopKQuery { mode: 0, at: vec![0, i % 20, i % 10], k: 3 },
+                    budget: None,
+                },
+            };
+            tickets.push(queue.submit(req).unwrap());
+        }
+        for t in tickets {
+            match t.wait() {
+                Response::Value(v) => assert!(v.is_finite()),
+                Response::Values(vs) => assert_eq!(vs.len(), 2),
+                Response::TopK(res) => assert_eq!(res.items.len(), 3),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        // 34 coalesced points + 33 batches of 2 = 100 entries scored via
+        // the batch path; the 33 top-K requests are counted separately.
+        let s = engine.snapshot();
+        assert_eq!(s.batch_points, 100);
+        assert_eq!(s.topk_queries, 33);
+    }
+
+    #[test]
+    fn shutdown_serves_queued_work_and_rejects_new() {
+        let engine = test_engine();
+        let mut queue = ServeQueue::new(engine, manual_cfg()).unwrap();
+        let pending = queue.submit(Request::Point { index: vec![3, 4, 5] }).unwrap();
+        queue.shutdown();
+        assert!(matches!(pending.wait(), Response::Value(_)));
+        assert!(matches!(
+            queue.submit(Request::Point { index: vec![0, 0, 0] }),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! Immutable, mode-sharded factor store.
+//!
+//! The serving layout mirrors how the solver distributes factors (§III-C):
+//! each mode's factor matrix is split into contiguous row shards of
+//! `shard_rows` rows. Shards are the unit a server would place, replicate,
+//! or memory-map; queries address rows through `(shard, local)` arithmetic
+//! so a row lookup never touches more than one shard.
+//!
+//! Alongside the raw rows the store precomputes, per mode:
+//! * the Gram matrix `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` (same self-product the solver caches for
+//!   the Hadamard normal equations, Eqs. 11–13),
+//! * every row's L2 norm, and
+//! * a norm-descending row order — the two ingredients of the
+//!   Cauchy–Schwarz pruning bound used by top-K search.
+//!
+//! Rows are copied verbatim from the model, so values read back from the
+//! store are bit-identical to the factors they came from.
+
+use crate::{Result, ServeError};
+use distenc_linalg::Mat;
+use distenc_tensor::KruskalTensor;
+
+/// Read-only sharded view of a CP model's factor matrices.
+#[derive(Debug, Clone)]
+pub struct FactorStore {
+    /// `shards[mode]` is the factor matrix of `mode`, split into
+    /// contiguous row blocks of `shard_rows` rows (last block ragged).
+    shards: Vec<Vec<Mat>>,
+    /// Per-mode Gram matrix `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` (`R×R`).
+    grams: Vec<Mat>,
+    /// Per-mode row L2 norms.
+    norms: Vec<Vec<f64>>,
+    /// Per-mode row indices sorted by norm descending (ties by index).
+    by_norm: Vec<Vec<usize>>,
+    shape: Vec<usize>,
+    rank: usize,
+    shard_rows: usize,
+}
+
+impl FactorStore {
+    /// Shard `model` into row blocks of `shard_rows` rows and precompute
+    /// the per-mode Gram matrices, row norms, and norm orders.
+    pub fn new(model: &KruskalTensor, shard_rows: usize) -> Result<Self> {
+        if shard_rows == 0 {
+            return Err(ServeError::BadConfig("shard_rows must be at least 1".into()));
+        }
+        let shape = model.shape();
+        let rank = model.rank();
+        let mut shards = Vec::with_capacity(model.order());
+        let mut grams = Vec::with_capacity(model.order());
+        let mut norms = Vec::with_capacity(model.order());
+        let mut by_norm = Vec::with_capacity(model.order());
+        for factor in model.factors() {
+            let dim = factor.rows();
+            let mut mode_shards = Vec::new();
+            let mut start = 0;
+            while start < dim {
+                let end = (start + shard_rows).min(dim);
+                mode_shards.push(factor.gather_rows(&(start..end).collect::<Vec<_>>()));
+                start = end;
+            }
+            let mode_norms: Vec<f64> = (0..dim)
+                .map(|i| factor.row(i).iter().map(|v| v * v).sum::<f64>().sqrt())
+                .collect();
+            let mut order: Vec<usize> = (0..dim).collect();
+            order.sort_unstable_by(|&a, &b| {
+                mode_norms[b].total_cmp(&mode_norms[a]).then(a.cmp(&b))
+            });
+            shards.push(mode_shards);
+            grams.push(factor.gram());
+            norms.push(mode_norms);
+            by_norm.push(order);
+        }
+        Ok(FactorStore { shards, grams, norms, by_norm, shape, rank, shard_rows })
+    }
+
+    /// Tensor shape served by this store.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// CP rank `R`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Tensor order `N`.
+    pub fn order(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Rows per shard (last shard of a mode may hold fewer).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Number of shards holding `mode`'s factor.
+    pub fn num_shards(&self, mode: usize) -> usize {
+        self.shards[mode].len()
+    }
+
+    /// Shard `s` of `mode` (a contiguous block of factor rows).
+    pub fn shard(&self, mode: usize, s: usize) -> &Mat {
+        &self.shards[mode][s]
+    }
+
+    /// Factor row `A⁽ᵐᵒᵈᵉ⁾[i, ·]`, resolved through shard arithmetic.
+    #[inline]
+    pub fn row(&self, mode: usize, i: usize) -> &[f64] {
+        self.shards[mode][i / self.shard_rows].row(i % self.shard_rows)
+    }
+
+    /// Gram matrix `A⁽ᵐᵒᵈᵉ⁾ᵀA⁽ᵐᵒᵈᵉ⁾`.
+    pub fn gram(&self, mode: usize) -> &Mat {
+        &self.grams[mode]
+    }
+
+    /// L2 norm of factor row `A⁽ᵐᵒᵈᵉ⁾[i, ·]`.
+    #[inline]
+    pub fn row_norm(&self, mode: usize, i: usize) -> f64 {
+        self.norms[mode][i]
+    }
+
+    /// Row indices of `mode` sorted by norm descending — the scan order
+    /// that makes the Cauchy–Schwarz bound a valid early exit.
+    pub fn by_norm(&self, mode: usize) -> &[usize] {
+        &self.by_norm[mode]
+    }
+
+    /// Reassemble the stored factors into a [`KruskalTensor`] (row-for-row
+    /// identical to the model the store was built from).
+    pub fn to_model(&self) -> KruskalTensor {
+        let factors: Vec<Mat> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(mode, blocks)| {
+                let mut data = Vec::with_capacity(self.shape[mode] * self.rank);
+                for block in blocks {
+                    data.extend_from_slice(block.as_slice());
+                }
+                Mat::from_vec(self.shape[mode], self.rank, data)
+            })
+            .collect();
+        KruskalTensor::new(factors).expect("stored factors share rank")
+    }
+
+    /// Approximate heap footprint in bytes (shards + precomputed tables).
+    pub fn mem_bytes(&self) -> usize {
+        let shard_bytes: usize = self
+            .shards
+            .iter()
+            .flat_map(|m| m.iter().map(Mat::mem_bytes))
+            .sum();
+        let gram_bytes: usize = self.grams.iter().map(Mat::mem_bytes).sum();
+        let table_bytes: usize = self
+            .norms
+            .iter()
+            .zip(&self.by_norm)
+            .map(|(n, o)| n.len() * 8 + o.len() * std::mem::size_of::<usize>())
+            .sum();
+        shard_bytes + gram_bytes + table_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_bit_identical_to_the_model() {
+        let model = KruskalTensor::random(&[37, 11, 5], 4, 123);
+        // shard_rows of 8 forces ragged last shards on every mode.
+        let store = FactorStore::new(&model, 8).unwrap();
+        for (mode, factor) in model.factors().iter().enumerate() {
+            for i in 0..factor.rows() {
+                assert_eq!(store.row(mode, i), factor.row(i), "mode {mode} row {i}");
+            }
+        }
+        assert_eq!(store.num_shards(0), 5);
+        assert_eq!(store.shard(0, 4).rows(), 5); // 37 = 4*8 + 5
+    }
+
+    #[test]
+    fn norm_order_is_descending() {
+        let model = KruskalTensor::random(&[50, 20, 10], 3, 9);
+        let store = FactorStore::new(&model, 16).unwrap();
+        for mode in 0..3 {
+            let order = store.by_norm(mode);
+            assert_eq!(order.len(), model.shape()[mode]);
+            for w in order.windows(2) {
+                assert!(store.row_norm(mode, w[0]) >= store.row_norm(mode, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_factor_gram() {
+        let model = KruskalTensor::random(&[12, 8, 6], 3, 4);
+        let store = FactorStore::new(&model, 4).unwrap();
+        for (mode, factor) in model.factors().iter().enumerate() {
+            assert_eq!(store.gram(mode), &factor.gram());
+        }
+    }
+
+    #[test]
+    fn to_model_round_trips_exactly() {
+        let model = KruskalTensor::random(&[23, 17, 9], 5, 77);
+        let store = FactorStore::new(&model, 7).unwrap();
+        let back = store.to_model();
+        assert_eq!(back.max_factor_dist(&model).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_shard_rows_rejected() {
+        let model = KruskalTensor::random(&[4, 4], 2, 0);
+        assert!(matches!(
+            FactorStore::new(&model, 0),
+            Err(ServeError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_shard_rows_yields_one_shard_per_mode() {
+        let model = KruskalTensor::random(&[10, 6], 2, 1);
+        let store = FactorStore::new(&model, 1000).unwrap();
+        assert_eq!(store.num_shards(0), 1);
+        assert_eq!(store.num_shards(1), 1);
+        assert_eq!(store.row(0, 9), model.factors()[0].row(9));
+    }
+}

@@ -1,0 +1,198 @@
+//! Synthetic query traces for load-testing the serving stack.
+//!
+//! Real recommendation traffic is heavily skewed — a few users/items
+//! absorb most queries — so the generator draws every index from a Zipf
+//! distribution. The skew is what makes the top-K LRU cache earn its
+//! keep: popular fixed-index tuples recur, and the replay reports a
+//! meaningful hit rate instead of the zero a uniform trace would give.
+
+use crate::queue::Request;
+use crate::topk::TopKQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Samples `0..n` with probability `P(i) ∝ 1/(i+1)^s` via inverse-CDF
+/// binary search (build O(n), sample O(log n)).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `0..n` with skew exponent `s` (`s = 0` is
+    /// uniform; larger `s` concentrates mass on small indices).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs a non-empty domain");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Domain size `n`.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff the domain is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Shape of a synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Total requests to generate.
+    pub queries: usize,
+    /// Fraction of requests that are point lookups.
+    pub point_frac: f64,
+    /// Fraction of requests that are batch lookups.
+    pub batch_frac: f64,
+    /// Entries per batch request.
+    pub batch_size: usize,
+    /// `k` for top-K requests (the remainder after point/batch fractions).
+    pub k: usize,
+    /// Optional per-query scan budget attached to top-K requests.
+    pub topk_budget: Option<Duration>,
+    /// Zipf skew exponent shared by every mode.
+    pub zipf_exponent: f64,
+    /// RNG seed — the same seed always yields the same trace.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            queries: 100_000,
+            point_frac: 0.6,
+            batch_frac: 0.2,
+            batch_size: 32,
+            k: 10,
+            topk_budget: None,
+            zipf_exponent: 1.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a deterministic Zipf-skewed request trace against `shape`.
+pub fn synth_trace(shape: &[usize], cfg: &TraceConfig) -> Vec<Request> {
+    assert!(!shape.is_empty(), "trace needs a non-empty shape");
+    assert!(
+        cfg.point_frac >= 0.0 && cfg.batch_frac >= 0.0
+            && cfg.point_frac + cfg.batch_frac <= 1.0,
+        "query-type fractions must be non-negative and sum to at most 1"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let samplers: Vec<ZipfSampler> = shape
+        .iter()
+        .map(|&d| ZipfSampler::new(d, cfg.zipf_exponent))
+        .collect();
+    let draw = |rng: &mut StdRng| -> Vec<usize> {
+        samplers.iter().map(|s| s.sample(rng)).collect()
+    };
+    let mut trace = Vec::with_capacity(cfg.queries);
+    for _ in 0..cfg.queries {
+        let u: f64 = rng.random();
+        let req = if u < cfg.point_frac {
+            Request::Point { index: draw(&mut rng) }
+        } else if u < cfg.point_frac + cfg.batch_frac {
+            let indices = (0..cfg.batch_size.max(1)).map(|_| draw(&mut rng)).collect();
+            Request::Batch { indices }
+        } else {
+            let mode = rng.random_range(0..shape.len());
+            Request::TopK {
+                query: TopKQuery { mode, at: draw(&mut rng), k: cfg.k },
+                budget: cfg.topk_budget,
+            }
+        };
+        trace.push(req);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_small_indices() {
+        let z = ZipfSampler::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0usize;
+        let draws = 10_000;
+        for _ in 0..draws {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top 1% of indices should absorb far more than 1% of draws.
+        assert!(head > draws / 5, "only {head}/{draws} in the head");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_in_bounds() {
+        let shape = [50, 30, 7];
+        let cfg = TraceConfig { queries: 500, ..Default::default() };
+        let a = synth_trace(&shape, &cfg);
+        let b = synth_trace(&shape, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        let mut kinds = [0usize; 3];
+        for req in &a {
+            match req {
+                Request::Point { index } => {
+                    kinds[0] += 1;
+                    for (i, d) in index.iter().zip(&shape) {
+                        assert!(i < d);
+                    }
+                }
+                Request::Batch { indices } => {
+                    kinds[1] += 1;
+                    assert_eq!(indices.len(), cfg.batch_size);
+                }
+                Request::TopK { query, .. } => {
+                    kinds[2] += 1;
+                    assert!(query.mode < 3);
+                    assert_eq!(query.k, cfg.k);
+                }
+            }
+        }
+        // All three query types must appear at the default fractions.
+        assert!(kinds.iter().all(|&k| k > 0), "kinds {kinds:?}");
+    }
+}

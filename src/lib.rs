@@ -18,6 +18,7 @@
 //! * [`baselines`] — ALS, TFAI, SCouT, FlexiFact comparators
 //! * [`datagen`] — synthetic workloads mirroring the paper's datasets
 //! * [`eval`] — metrics and the figure/table experiment harness
+//! * [`serve`] — sharded, batched model serving for completed tensors
 
 #![warn(missing_docs)]
 
@@ -29,4 +30,5 @@ pub use distenc_eval as eval;
 pub use distenc_graph as graph;
 pub use distenc_linalg as linalg;
 pub use distenc_partition as partition;
+pub use distenc_serve as serve;
 pub use distenc_tensor as tensor;

@@ -6,18 +6,29 @@
 //!                  [--similarity sim.coo@0]... [--alpha 2.0] [--iters 60]
 //! distenc evaluate --model model.kruskal --test held_out.coo
 //! distenc predict  --model model.kruskal --at 3,17,2
+//! distenc predict  --model model.kruskal --at-file queries.coo
+//! distenc predict  --model model.kruskal --top-k 10 --mode 1 --at 3,_,2
+//! distenc serve-bench --model model.kruskal --queries 100000
 //! ```
 //!
 //! Tensors are plain-text COO files (`# shape: …` header, one
 //! `i j k value` line per entry); similarity matrices are 2-order COO
 //! files attached to a mode with `path@mode`. Models round-trip through
-//! the same text format (`distenc_tensor::io`).
+//! the same text format (`distenc_tensor::io`). Prediction and the
+//! serving benchmark go through `distenc_serve::Engine`, so scores are
+//! bit-identical to `KruskalTensor::eval` on the loaded model.
 
 use distenc::core::{AdmmConfig, AdmmSolver};
 use distenc::graph::{Laplacian, SparseSym};
-use distenc::tensor::{io, CooTensor};
-use std::collections::BTreeMap;
+use distenc::serve::{
+    synth_trace, Engine, EngineConfig, QueueConfig, Request, ServeError, ServeQueue, Ticket,
+    TopKQuery, TraceConfig,
+};
+use distenc::tensor::{io, CooTensor, KruskalTensor};
+use std::collections::{BTreeMap, VecDeque};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +41,7 @@ fn main() -> ExitCode {
         "complete" => cmd_complete(rest),
         "evaluate" => cmd_evaluate(rest),
         "predict" => cmd_predict(rest),
+        "serve-bench" => cmd_serve_bench(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -55,7 +67,15 @@ USAGE:
                    [--similarity FILE@MODE].. [--alpha A] [--lambda L]
                    [--iters T] [--tol EPS] [--eigen-k K] [--seed S] [--nonneg]
   distenc evaluate --model MODEL --test FILE
-  distenc predict  --model MODEL --at i1,i2,..";
+  distenc predict  --model MODEL --at i1,i2,..
+  distenc predict  --model MODEL --at-file FILE         (scores every index)
+  distenc predict  --model MODEL --top-k K --mode M --at i1,_,..
+                   [--budget-ms MS]
+  distenc serve-bench [--model MODEL | --dims d1,d2,.. --rank R]
+                   [--queries N] [--point-frac F] [--batch-frac F]
+                   [--batch-size B] [--k K] [--zipf S] [--budget-ms MS]
+                   [--cache N] [--shard-rows N] [--workers W]
+                   [--window-us U] [--capacity N] [--max-batch N] [--seed S]";
 
 /// Parse `--key value` pairs (plus bare flags listed in `flags`).
 fn parse_opts(
@@ -225,14 +245,185 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse an index list where `_` or `*` marks the free-mode placeholder.
+fn parse_index_spec(s: &str, what: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .map(|p| {
+            let p = p.trim();
+            if p == "_" || p == "*" {
+                Ok(0)
+            } else {
+                parse_num(p, what)
+            }
+        })
+        .collect()
+}
+
+fn parse_budget(opts: &BTreeMap<String, String>) -> Result<Option<Duration>, String> {
+    opts.get("budget-ms")
+        .map(|s| parse_num::<u64>(s, "budget-ms").map(Duration::from_millis))
+        .transpose()
+}
+
 fn cmd_predict(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args, &[])?;
     let model = io::read_kruskal_file(req(&opts, "model")?).map_err(|e| e.to_string())?;
-    let idx = parse_list(req(&opts, "at")?, "index")?;
-    let shape = model.shape();
-    if idx.len() != shape.len() || idx.iter().zip(&shape).any(|(&i, &d)| i >= d) {
-        return Err(format!("index {idx:?} out of bounds for shape {shape:?}"));
+    let engine = Engine::new(&model, EngineConfig::default()).map_err(|e| e.to_string())?;
+
+    if let Some(k) = opts.get("top-k") {
+        // Rank the free mode with everything else pinned.
+        let k: usize = parse_num(k, "top-k")?;
+        let mode: usize = parse_num(req(&opts, "mode")?, "mode")?;
+        let at = parse_index_spec(req(&opts, "at")?, "index")?;
+        let res = engine
+            .topk(&TopKQuery { mode, at, k }, parse_budget(&opts)?)
+            .map_err(|e| e.to_string())?;
+        if res.degraded {
+            eprintln!(
+                "warning: budget expired after {} of {} candidates; showing best-so-far",
+                res.scanned,
+                model.shape()[mode]
+            );
+        }
+        for item in &res.items {
+            println!("{} {}", item.index, item.score);
+        }
+    } else if let Some(path) = opts.get("at-file") {
+        // Score every index of a COO-style list in one batch pass
+        // (values in the file, if any, are ignored).
+        let queries = io::read_coo_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+        if queries.shape() != model.shape().as_slice() {
+            return Err(format!(
+                "query shape {:?} does not match model shape {:?}",
+                queries.shape(),
+                model.shape()
+            ));
+        }
+        let indices: Vec<Vec<usize>> = queries.iter().map(|(idx, _)| idx.to_vec()).collect();
+        let scores = engine.batch(&indices).map_err(|e| e.to_string())?;
+        for (idx, score) in indices.iter().zip(scores) {
+            let coords: Vec<String> = idx.iter().map(|i| i.to_string()).collect();
+            println!("{} {score}", coords.join(" "));
+        }
+    } else {
+        let idx = parse_list(req(&opts, "at")?, "index")?;
+        println!("{}", engine.point(&idx).map_err(|e| e.to_string())?);
     }
-    println!("{}", model.eval(&idx));
+    Ok(())
+}
+
+fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &[])?;
+    let seed: u64 = opts.get("seed").map_or(Ok(42), |s| parse_num(s, "seed"))?;
+    let model = match opts.get("model") {
+        Some(path) => io::read_kruskal_file(path).map_err(|e| e.to_string())?,
+        None => {
+            let dims = opts
+                .get("dims")
+                .map(|s| parse_list(s, "dimension"))
+                .transpose()?
+                .unwrap_or_else(|| vec![2000, 500, 20]);
+            let rank: usize = opts.get("rank").map_or(Ok(8), |s| parse_num(s, "rank"))?;
+            KruskalTensor::random(&dims, rank, seed)
+        }
+    };
+    let engine_cfg = EngineConfig {
+        shard_rows: opts.get("shard-rows").map_or(Ok(4096), |s| parse_num(s, "shard-rows"))?,
+        topk_cache: opts.get("cache").map_or(Ok(1024), |s| parse_num(s, "cache"))?,
+        ..Default::default()
+    };
+    let engine = Arc::new(Engine::new(&model, engine_cfg).map_err(|e| e.to_string())?);
+
+    let trace_cfg = TraceConfig {
+        queries: opts.get("queries").map_or(Ok(100_000), |s| parse_num(s, "queries"))?,
+        point_frac: opts.get("point-frac").map_or(Ok(0.6), |s| parse_num(s, "point-frac"))?,
+        batch_frac: opts.get("batch-frac").map_or(Ok(0.2), |s| parse_num(s, "batch-frac"))?,
+        batch_size: opts.get("batch-size").map_or(Ok(32), |s| parse_num(s, "batch-size"))?,
+        k: opts.get("k").map_or(Ok(10), |s| parse_num(s, "k"))?,
+        topk_budget: parse_budget(&opts)?,
+        zipf_exponent: opts.get("zipf").map_or(Ok(1.1), |s| parse_num(s, "zipf"))?,
+        seed,
+    };
+    if !(0.0..=1.0).contains(&trace_cfg.point_frac)
+        || !(0.0..=1.0).contains(&trace_cfg.batch_frac)
+        || trace_cfg.point_frac + trace_cfg.batch_frac > 1.0
+    {
+        return Err(format!(
+            "--point-frac ({}) and --batch-frac ({}) must be non-negative and sum to at most 1",
+            trace_cfg.point_frac, trace_cfg.batch_frac
+        ));
+    }
+    let shape = model.shape();
+    let trace = synth_trace(&shape, &trace_cfg);
+    let store = engine.store();
+    eprintln!(
+        "replaying {} requests against shape {:?} rank {} ({} shards, {:.1} MiB store)",
+        trace.len(),
+        shape,
+        model.rank(),
+        (0..store.order()).map(|m| store.num_shards(m)).sum::<usize>(),
+        store.mem_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    let workers: usize = opts.get("workers").map_or(Ok(0), |s| parse_num(s, "workers"))?;
+    let total = trace.len();
+    let start = Instant::now();
+    if workers == 0 {
+        // Direct replay: every request hits the engine synchronously.
+        for request in &trace {
+            match request {
+                Request::Point { index } => {
+                    engine.point(index).map_err(|e| e.to_string())?;
+                }
+                Request::Batch { indices } => {
+                    engine.batch(indices).map_err(|e| e.to_string())?;
+                }
+                Request::TopK { query, budget } => {
+                    engine.topk(query, *budget).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    } else {
+        // Queued replay: submissions flow through the bounded batching
+        // queue; on backpressure the replayer waits for its oldest
+        // in-flight ticket before retrying.
+        let queue_cfg = QueueConfig {
+            capacity: opts.get("capacity").map_or(Ok(1024), |s| parse_num(s, "capacity"))?,
+            max_batch: opts.get("max-batch").map_or(Ok(64), |s| parse_num(s, "max-batch"))?,
+            window: Duration::from_micros(
+                opts.get("window-us").map_or(Ok(200), |s| parse_num(s, "window-us"))?,
+            ),
+            workers,
+        };
+        let queue =
+            ServeQueue::new(Arc::clone(&engine), queue_cfg).map_err(|e| e.to_string())?;
+        let mut pending: VecDeque<Ticket> = VecDeque::new();
+        for request in trace {
+            loop {
+                match queue.submit(request.clone()) {
+                    Ok(ticket) => {
+                        pending.push_back(ticket);
+                        break;
+                    }
+                    Err(ServeError::QueueFull { .. }) => match pending.pop_front() {
+                        Some(ticket) => {
+                            ticket.wait();
+                        }
+                        None => std::thread::yield_now(),
+                    },
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+        }
+        for ticket in pending {
+            ticket.wait();
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "replayed {total} requests in {elapsed:.3} s ({:.0} req/s)",
+        total as f64 / elapsed.max(1e-9)
+    );
+    println!("{}", engine.snapshot());
     Ok(())
 }

@@ -118,3 +118,92 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("distenc complete"));
 }
+
+#[test]
+fn predict_top_k_and_at_file() {
+    let data = tmp("serve.coo");
+    let model = tmp("serve.kruskal");
+    let out = bin()
+        .args(["generate", "--kind", "skewed", "--dims", "30,20,6", "--nnz", "2000"])
+        .args(["--out", data.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["complete", "--input", data.to_str().unwrap(), "--rank", "3"])
+        .args(["--out", model.to_str().unwrap(), "--iters", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // --top-k ranks the free mode; rows are "index score", best first.
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap()])
+        .args(["--top-k", "5", "--mode", "1", "--at", "2,_,3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let rows: Vec<(usize, f64)> = stdout
+        .lines()
+        .map(|l| {
+            let (i, s) = l.split_once(' ').unwrap();
+            (i.parse().unwrap(), s.parse().unwrap())
+        })
+        .collect();
+    assert_eq!(rows.len(), 5);
+    for w in rows.windows(2) {
+        assert!(w[0].1 >= w[1].1, "not sorted: {stdout}");
+    }
+    // The top hit must agree with a point prediction at the same index.
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap()])
+        .args(["--at", &format!("2,{},3", rows[0].0)])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let point: f64 = String::from_utf8_lossy(&out.stdout).trim().parse().unwrap();
+    assert_eq!(point, rows[0].1, "top-K score must equal the point prediction");
+
+    // --at-file scores every listed index through the batch path.
+    let out = bin()
+        .args(["predict", "--model", model.to_str().unwrap()])
+        .args(["--at-file", data.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(fields.len(), 4, "3 indices + score: {line}");
+        let v: f64 = fields[3].parse().unwrap();
+        assert!(v.is_finite());
+    }
+}
+
+#[test]
+fn serve_bench_replays_and_reports() {
+    let out = bin()
+        .args(["serve-bench", "--dims", "200,100,10", "--rank", "4"])
+        .args(["--queries", "2000", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("replayed 2000 requests"), "{stdout}");
+    assert!(stdout.contains("cache hit rate"), "{stdout}");
+    assert!(stdout.contains("latency"), "{stdout}");
+
+    // Queued mode exercises the worker/batching path end to end.
+    let out = bin()
+        .args(["serve-bench", "--dims", "200,100,10", "--rank", "4"])
+        .args(["--queries", "1000", "--workers", "2", "--capacity", "64"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("replayed 1000 requests"), "{stdout}");
+    assert!(stdout.contains("batches executed"), "{stdout}");
+}

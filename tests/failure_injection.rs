@@ -53,7 +53,7 @@ fn sparse_slices_and_empty_planes_are_fine() {
     for _ in 0..200 {
         // Only even mode-0 slices below 10 are populated.
         let idx = [
-            rng.random_range(0..5) * 2,
+            rng.random_range(0..5usize) * 2,
             rng.random_range(0..10),
             rng.random_range(0..10),
         ];

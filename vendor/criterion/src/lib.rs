@@ -1,0 +1,207 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! Provides `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`), `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple adaptive loop: one warm-up call sizes the batch, then the
+//! batch is timed and mean/min/max per-iteration times are printed.
+//! Vendored because the build environment has no crates.io access.
+//!
+//! Environment knobs:
+//! * `CRITERION_MEASURE_MS` — target measurement window per benchmark
+//!   (default 300 ms; set small in CI smoke runs).
+//! * Passing a CLI argument filters benchmarks by substring, matching
+//!   `cargo bench -- <filter>` behavior.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Collects per-iteration timing inside [`Bencher::iter`].
+pub struct Bencher {
+    target: Duration,
+    /// Mean seconds per iteration, filled by `iter`.
+    mean: f64,
+    min: f64,
+    max: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up call doubles as the batch sizer.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_secs_f64() / once.as_secs_f64())
+            .clamp(1.0, 100_000.0) as u64;
+        let (mut min, mut max, mut total) = (f64::INFINITY, 0.0f64, 0.0f64);
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed().as_secs_f64();
+            min = min.min(dt);
+            max = max.max(dt);
+            total += dt;
+        }
+        self.mean = total / iters as f64;
+        self.min = min;
+        self.max = max;
+        self.iters = iters;
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn measure_target() -> Duration {
+    std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(Duration::from_millis(300), Duration::from_millis)
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free-standing CLI arg acts as a name filter, like
+        // `cargo bench -- mttkrp`. Flags (`--bench`, `--exact`, …) that
+        // cargo forwards are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter, target: measure_target() }
+    }
+}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> &mut Self {
+        if let Some(flt) = &self.filter {
+            if !id.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            target: self.target,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{id:<44} time: [{} {} {}]  ({} iters)",
+            fmt_time(b.min),
+            fmt_time(b.mean),
+            fmt_time(b.max),
+            b.iters
+        );
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's adaptive timer ignores
+    /// the explicit sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink the measurement window for expensive benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.parent.target = d;
+        self
+    }
+
+    /// Run a benchmark within the group (`group/name` in the report).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a function running a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` invoking one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { filter: None, target: Duration::from_millis(1) };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_prefixes_names() {
+        let mut c = Criterion { filter: Some("nomatch".into()), target: Duration::from_millis(1) };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("x", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(!ran, "filter must skip non-matching benchmarks");
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline shim for the subset of the `rand` 0.9 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the handful of primitives it needs: a seeded deterministic
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), the [`Rng`] /
+//! [`SeedableRng`] traits with `random::<T>()` and `random_range(a..b)`,
+//! and [`seq::SliceRandom::shuffle`]. The value streams differ from the
+//! real `rand` crate, but every consumer in this repo only relies on
+//! *determinism for a fixed seed*, never on specific values.
+
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the full
+    /// range, `bool` fair).
+    fn random<T: distr::StandardValue>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Sample uniformly from a range, e.g. `rng.random_range(0..n)`.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample a bool that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a deterministic generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic RNG: xoshiro256++ with SplitMix64
+    /// seed expansion. Same-seed streams are identical across runs and
+    /// platforms.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro requires a non-zero state; seed 0 expands to
+            // non-zero words under SplitMix64, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Standard-distribution sampling and range sampling.
+pub mod distr {
+    use super::RngCore;
+
+    /// Types samplable via [`super::Rng::random`].
+    pub trait StandardValue: Sized {
+        /// Draw one value from the type's standard distribution.
+        fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardValue for f64 {
+        #[inline]
+        fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 high bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardValue for f32 {
+        #[inline]
+        fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl StandardValue for bool {
+        #[inline]
+        fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardValue for $t {
+                #[inline]
+                fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform sampling of `n` in `[0, bound)` without modulo bias
+    /// (Lemire's widening-multiply method).
+    #[inline]
+    pub(crate) fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = (rng.next_u64() as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                m = (rng.next_u64() as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Ranges samplable via [`super::Rng::random_range`].
+    pub trait SampleRange<T> {
+        /// Draw one value uniformly from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_sample_range_int {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                #[inline]
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        // Full-width range: every word is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(bounded_u64(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        #[inline]
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            let u = f64::from_rng(rng);
+            self.start + u * (self.end - self.start)
+        }
+    }
+}
+
+/// Sequence helpers (`shuffle`, `choose`).
+pub mod seq {
+    use super::distr::bounded_u64;
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// Uniformly pick a reference to one element (`None` if empty).
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[bounded_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.random_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..100 {
+            let v = rng.random_range(3..=5u32);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+}
