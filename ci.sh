@@ -5,8 +5,15 @@ set -eu
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# Run the whole suite under both execution backends. ExecMode::default()
+# reads DISTENC_THREADS, so no test needs to opt in: the same binaries
+# exercise the sequential path and the thread pool, and every result must
+# be bit-identical (tests/parallel_equivalence.rs proves the contract).
+echo "==> DISTENC_THREADS=1 cargo test -q"
+DISTENC_THREADS=1 cargo test -q
+
+echo "==> DISTENC_THREADS=4 cargo test -q"
+DISTENC_THREADS=4 cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

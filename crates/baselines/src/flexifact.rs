@@ -314,7 +314,7 @@ impl MethodModel for FlexiFactModel {
 mod tests {
     use super::*;
     use distenc_core::model::RunOutcome;
-    use distenc_dataflow::ExecMode;
+    use distenc_dataflow::Platform;
     use distenc_graph::builders::tridiagonal_chain;
     use rand::Rng;
 
@@ -368,7 +368,7 @@ mod tests {
         let stages_for = |m: usize| {
             let cluster = Cluster::new(
                 ClusterConfig::test(m)
-                    .with_mode(ExecMode::MapReduce)
+                    .with_mode(Platform::MapReduce)
                     .with_time_budget(None),
             );
             let cfg = FlexiFactConfig { rank: 2, max_iters: 2, tol: 1e-12, ..Default::default() };

@@ -312,7 +312,7 @@ impl MethodModel for ScoutModel {
 mod tests {
     use super::*;
     use distenc_core::model::DisTenCModel;
-    use distenc_dataflow::ExecMode;
+    use distenc_dataflow::Platform;
     use distenc_graph::builders::{community_blocks, tridiagonal_chain};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -381,7 +381,7 @@ mod tests {
         let observed = planted(&[15, 15, 15], 2, 400, 8);
         let cluster = Cluster::new(
             ClusterConfig::test(3)
-                .with_mode(ExecMode::MapReduce)
+                .with_mode(Platform::MapReduce)
                 .with_time_budget(None),
         );
         let cfg = ScoutConfig { rank: 2, max_iters: 3, tol: 1e-12, ..Default::default() };

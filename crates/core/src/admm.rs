@@ -21,8 +21,9 @@ use crate::trace::{ConvergenceTrace, TracePoint};
 use crate::{CompletionResult, CoreError, Result};
 use distenc_graph::{Laplacian, TruncatedLaplacian};
 use distenc_linalg::{Cholesky, Mat};
+use distenc_dataflow::Executor;
 use distenc_tensor::mttkrp::gram_product;
-use distenc_tensor::residual::{completed_mttkrp, residual};
+use distenc_tensor::residual::{completed_mttkrp_exec, residual};
 use distenc_tensor::{CooTensor, KruskalTensor};
 use std::time::Instant;
 
@@ -163,6 +164,17 @@ pub(crate) fn solve_with(
     let mut e = residual(observed, &model)?;
     let mut grams: Vec<Mat> = model.factors().iter().map(Mat::gram).collect();
 
+    // Host backend for the per-iteration kernels. The per-mode MTTKRP
+    // boundaries (Algorithm 2's greedy balancing over slice loads) are
+    // computed once — the support never changes — and any blocking is
+    // bit-exact, so sizing them to the thread count is free.
+    let exec = Executor::new(cfg.exec);
+    let mode_boundaries: Vec<Vec<usize>> = (0..n_modes)
+        .map(|n| {
+            distenc_partition::greedy_boundaries(&observed.slice_nnz(n), exec.threads())
+        })
+        .collect();
+
     // Optional CSF path (§III-C's fiber layout): the index trees are
     // built once per mode — the support never changes — and only the
     // residual *values* are refreshed each iteration.
@@ -198,7 +210,7 @@ pub(crate) fn solve_with(
                 h.axpy(1.0, &csf[n].mttkrp_root(model.factors())?)?;
                 h
             } else {
-                completed_mttkrp(&e, &model, &grams, n)?
+                completed_mttkrp_exec(&e, &model, &grams, n, &mode_boundaries[n], &exec)?
             };
 
             // Line 11: A⁽ⁿ⁾ₜ₊₁ ← (H + ηB + Y)(Fⁿₜ + λI + ηI)⁻¹.
@@ -230,7 +242,7 @@ pub(crate) fn solve_with(
         }
 
         // Line 13: refresh the cached residual for the next iteration.
-        distenc_tensor::residual::residual_into(observed, &model, &mut e)?;
+        distenc_tensor::residual::residual_into_exec(observed, &model, &mut e, &exec)?;
         for c in csf.iter_mut() {
             c.set_values(&e)?;
         }

@@ -39,6 +39,11 @@ pub struct AdmmConfig {
     /// the serial solver instead of the COO kernel. Identical results;
     /// faster on fiber-dense tensors (the `kernels` bench quantifies it).
     pub use_csf: bool,
+    /// Host execution backend for the solver's per-iteration kernels
+    /// (MTTKRP, residual). Bit-identical results under every setting —
+    /// see `distenc-dataflow`'s `exec` module; defaults from the
+    /// `DISTENC_THREADS` environment variable.
+    pub exec: distenc_dataflow::ExecMode,
 }
 
 impl Default for AdmmConfig {
@@ -57,6 +62,7 @@ impl Default for AdmmConfig {
             nonneg: false,
             partition: distenc_partition::PartitionStrategy::Greedy,
             use_csf: false,
+            exec: distenc_dataflow::ExecMode::default(),
         }
     }
 }
@@ -65,6 +71,12 @@ impl AdmmConfig {
     /// Builder-style rank override.
     pub fn with_rank(mut self, rank: usize) -> Self {
         self.rank = rank;
+        self
+    }
+
+    /// Builder-style host-execution-backend override.
+    pub fn with_exec(mut self, exec: distenc_dataflow::ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 

@@ -140,7 +140,12 @@ impl<'c> DisTenC<'c> {
         let mut model = KruskalTensor::random(&shape, rank, self.cfg.seed);
         let mut b_aux: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
         let mut y_mul: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
-        let mut grams: Vec<Mat> = model.factors().iter().map(Mat::gram).collect();
+        let mut grams: Vec<Mat> = model
+            .factors()
+            .iter()
+            .zip(&mode_parts)
+            .map(|(f, part)| self.partitioned_gram(f, part))
+            .collect();
         self.charge_gram_stage(&mode_parts, rank)?;
 
         // Initial residual (line 5): needs every mode's rows at each block.
@@ -203,7 +208,7 @@ impl<'c> DisTenC<'c> {
             for (n, a_new) in new_factors.into_iter().enumerate() {
                 delta = delta.max(model.factors()[n].frob_dist(&a_new)?);
                 model.set_factor(n, a_new)?;
-                grams[n] = model.factors()[n].gram();
+                grams[n] = self.partitioned_gram(&model.factors()[n], &mode_parts[n]);
             }
             self.charge_gram_stage(&mode_parts, rank)?;
             self.charge_rows_stage_all(&mode_parts, rank as f64, 0)?; // delta reduce
@@ -259,29 +264,55 @@ impl<'c> DisTenC<'c> {
         self.charge_factor_fetch(blocks, mode_parts, rank, Some(mode))?;
 
         let shape = model.shape();
+        // Algorithm 2's block boundaries double as the parallel work
+        // decomposition: blocks sharing a mode-`mode` partition coordinate
+        // write the same output row range, so they form one work unit
+        // (processed in ascending block order — the same order the old
+        // sequential loop used), while distinct coordinates own disjoint
+        // row ranges and run concurrently with no atomics. Bit-identical
+        // to a single sequential sweep for every `ExecMode`.
+        let part = &mode_parts[mode];
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); part.parts()];
+        for (i, b) in blocks.iter().enumerate() {
+            groups[b.coords[mode]].push(i);
+        }
+        let slabs = cl.executor().run(&groups, |p, members| {
+            let rows = part.range(p);
+            let mut slab = Mat::zeros(rows.len(), rank);
+            let mut scratch = vec![0.0; rank];
+            for &bi in members {
+                let b = &blocks[bi];
+                for (pos, (idx, _)) in b.entries.iter().enumerate() {
+                    let v = b.e_vals[pos];
+                    scratch.iter_mut().for_each(|s| *s = v);
+                    for (k, f) in model.factors().iter().enumerate() {
+                        if k == mode {
+                            continue;
+                        }
+                        let row = f.row(idx[k]);
+                        for (s, &a) in scratch.iter_mut().zip(row) {
+                            *s *= a;
+                        }
+                    }
+                    let out = slab.row_mut(idx[mode] - rows.start);
+                    for (o, &s) in out.iter_mut().zip(&scratch) {
+                        *o += s;
+                    }
+                }
+            }
+            slab
+        });
+        // Stitch the disjoint row slabs in fixed partition order.
         let mut h = Mat::zeros(shape[mode], rank);
-        let mut scratch = vec![0.0; rank];
+        for (p, slab) in slabs.iter().enumerate() {
+            let rows = part.range(p);
+            h.as_mut_slice()[rows.start * rank..rows.end * rank]
+                .copy_from_slice(slab.as_slice());
+        }
         let mut tasks = Vec::with_capacity(blocks.len());
         let mut sent = vec![0u64; cl.machines()];
         let mut received = vec![0u64; cl.machines()];
         for b in blocks {
-            for (pos, (idx, _)) in b.entries.iter().enumerate() {
-                let v = b.e_vals[pos];
-                scratch.iter_mut().for_each(|s| *s = v);
-                for (k, f) in model.factors().iter().enumerate() {
-                    if k == mode {
-                        continue;
-                    }
-                    let row = f.row(idx[k]);
-                    for (s, &a) in scratch.iter_mut().zip(row) {
-                        *s *= a;
-                    }
-                }
-                let out = h.row_mut(idx[mode]);
-                for (o, &s) in out.iter_mut().zip(&scratch) {
-                    *o += s;
-                }
-            }
             let nnz = b.entries.nnz();
             let out_rows = b.active[mode].len() as u64;
             tasks.push(TaskCost {
@@ -305,6 +336,33 @@ impl<'c> DisTenC<'c> {
         Ok(h)
     }
 
+    /// `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` as the paper computes it (Eq. 13): each mode
+    /// partition contributes the partial Gram of its factor rows, and the
+    /// `R×R` partials reduce on the driver.
+    ///
+    /// The partial boundaries come from the *mode partition* — a function
+    /// of the data, never of the thread count — and the partials are
+    /// summed in ascending partition order under **every** `ExecMode`, so
+    /// the floating-point association is fixed and `Sequential` and
+    /// `Threads(n)` produce identical bits. (This association differs
+    /// from a single unblocked row sweep, which is why the serial
+    /// `AdmmSolver` oracle agrees to rounding, not to the bit.)
+    fn partitioned_gram(&self, factor: &Mat, part: &ModePartition) -> Mat {
+        let ranges: Vec<std::ops::Range<usize>> =
+            (0..part.parts()).map(|p| part.range(p)).collect();
+        let partials = self
+            .cluster
+            .executor()
+            .run(&ranges, |_, r| factor.gram_range(r.clone()));
+        let r = factor.cols();
+        let mut g = Mat::zeros(r, r);
+        for partial in &partials {
+            g.axpy(1.0, partial).expect("partial grams share the R×R shape");
+        }
+        g.mirror_upper();
+        g
+    }
+
     /// Recompute residual values block-locally: `e = t − [[A…]](idx)`.
     fn compute_residual_blocks(
         &self,
@@ -314,11 +372,15 @@ impl<'c> DisTenC<'c> {
     ) -> Result<()> {
         let n_modes = observed.order();
         let rank = model.rank();
-        let mut tasks = Vec::with_capacity(blocks.len());
-        for b in blocks.iter_mut() {
+        // Residual entries are independent, so one task per block on the
+        // executor is bit-exact regardless of scheduling.
+        self.cluster.executor().run_mut(blocks, |_, b| {
             for (pos, (idx, v)) in b.entries.iter().enumerate() {
                 b.e_vals[pos] = v - model.eval(idx);
             }
+        });
+        let mut tasks = Vec::with_capacity(blocks.len());
+        for b in blocks.iter() {
             let nnz = b.entries.nnz();
             tasks.push(TaskCost {
                 machine: b.machine,

@@ -221,7 +221,7 @@ impl MethodModel for DisTenCModel {
             + shuffle / m * cost.seconds_per_net_byte
             + broadcast_per_iter * cost.seconds_per_net_byte
             + stages * cost.stage_latency
-            + if c.mode == distenc_dataflow::ExecMode::MapReduce {
+            + if c.mode == distenc_dataflow::Platform::MapReduce {
                 // Every stage spills inputs+outputs: dominated by the
                 // sparse passes.
                 (n_modes + 1.0) * nnz * entry / m * cost.seconds_per_disk_byte

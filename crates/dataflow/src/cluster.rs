@@ -1,6 +1,7 @@
 //! The simulated cluster: virtual clock, memory ledger, traffic counters.
 
-use crate::config::{ClusterConfig, ExecMode};
+use crate::config::{ClusterConfig, Platform};
+use crate::exec::Executor;
 use crate::{DataflowError, Result};
 use parking_lot::Mutex;
 
@@ -54,6 +55,7 @@ struct State {
 pub struct Cluster {
     cfg: ClusterConfig,
     state: Mutex<State>,
+    exec: Executor,
 }
 
 impl Cluster {
@@ -65,8 +67,10 @@ impl Cluster {
         assert!(cfg.machines > 0, "cluster needs at least one machine");
         assert!(cfg.cores_per_machine > 0, "machines need at least one core");
         let m = cfg.machines;
+        let exec = Executor::new(cfg.exec);
         Cluster {
             cfg,
+            exec,
             state: Mutex::new(State {
                 clock: 0.0,
                 resident: vec![0; m],
@@ -82,6 +86,14 @@ impl Cluster {
     /// The cluster's configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// The host execution backend the cluster's real computation runs on
+    /// (built once from [`ClusterConfig::exec`]). Algorithms run their
+    /// per-partition closures through this; the choice never changes a
+    /// result bit, only host wall time.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Number of machines.
@@ -119,7 +131,7 @@ impl Cluster {
     pub fn reserve(&self, machine: usize, bytes: u64) -> Result<()> {
         let mut s = self.state.lock();
         match self.cfg.mode {
-            ExecMode::Spark => {
+            Platform::Spark => {
                 let new = s.resident[machine] + bytes;
                 if new > self.cfg.mem_per_machine {
                     return Err(DataflowError::OutOfMemory {
@@ -132,7 +144,7 @@ impl Cluster {
                 s.peak_resident[machine] = s.peak_resident[machine].max(new);
                 Ok(())
             }
-            ExecMode::MapReduce => {
+            Platform::MapReduce => {
                 s.disk_bytes += bytes;
                 s.clock += bytes as f64 * self.cfg.cost.seconds_per_disk_byte;
                 Ok(())
@@ -143,7 +155,7 @@ impl Cluster {
     /// Release resident memory reserved earlier (no-op in MapReduce mode,
     /// mirroring [`Cluster::reserve`]).
     pub fn release(&self, machine: usize, bytes: u64) {
-        if self.cfg.mode == ExecMode::Spark {
+        if self.cfg.mode == Platform::Spark {
             let mut s = self.state.lock();
             s.resident[machine] = s.resident[machine].saturating_sub(bytes);
         }
@@ -187,14 +199,14 @@ impl Cluster {
                     t *= slowdown;
                 }
             }
-            if self.cfg.mode == ExecMode::MapReduce {
+            if self.cfg.mode == Platform::MapReduce {
                 t += working[mach] as f64 * self.cfg.cost.seconds_per_disk_byte;
             }
             slowest = slowest.max(t);
         }
         let latency = match self.cfg.mode {
-            ExecMode::Spark => self.cfg.cost.stage_latency,
-            ExecMode::MapReduce => {
+            Platform::Spark => self.cfg.cost.stage_latency,
+            Platform::MapReduce => {
                 s.disk_bytes += working.iter().sum::<u64>();
                 self.cfg.cost.mr_job_latency
             }
@@ -221,7 +233,7 @@ impl Cluster {
         let mut s = self.state.lock();
         s.shuffled_bytes += total;
         s.clock += slowest as f64 * self.cfg.cost.seconds_per_net_byte;
-        if self.cfg.mode == ExecMode::MapReduce {
+        if self.cfg.mode == Platform::MapReduce {
             // Map outputs are materialized to disk before reducers fetch.
             s.disk_bytes += total;
             s.clock += total as f64 * self.cfg.cost.seconds_per_disk_byte
@@ -358,7 +370,7 @@ mod tests {
     #[test]
     fn mapreduce_charges_disk() {
         let spark = Cluster::new(ClusterConfig::test(1));
-        let mr = Cluster::new(ClusterConfig::test(1).with_mode(ExecMode::MapReduce));
+        let mr = Cluster::new(ClusterConfig::test(1).with_mode(Platform::MapReduce));
         let task = TaskCost { machine: 0, flops: 1e6, input_bytes: 1 << 20, output_bytes: 1 << 20 };
         spark.run_stage(&[task]).unwrap();
         mr.run_stage(&[task]).unwrap();
@@ -371,7 +383,7 @@ mod tests {
     fn mapreduce_persist_goes_to_disk_not_ram() {
         let mr = Cluster::new(
             ClusterConfig::test(1)
-                .with_mode(ExecMode::MapReduce)
+                .with_mode(Platform::MapReduce)
                 .with_memory(100),
         );
         // Far beyond RAM, but MapReduce spills, so no OOM.

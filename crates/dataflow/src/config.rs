@@ -1,8 +1,13 @@
 //! Cluster configuration and the calibrated cost model.
 
-/// Execution substrate being modelled.
+use crate::exec::ExecMode;
+
+/// Execution substrate being modelled (formerly `ExecMode`; renamed when
+/// [`ExecMode`] became the *host* thread-backend selector — the two are
+/// orthogonal axes: what the simulation charges vs how fast the host
+/// actually computes it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecMode {
+pub enum Platform {
     /// In-memory iteration à la Spark: persisted datasets stay resident,
     /// stages exchange data over the network only.
     Spark,
@@ -58,7 +63,11 @@ pub struct ClusterConfig {
     /// Memory capacity per machine, in bytes.
     pub mem_per_machine: u64,
     /// Spark or MapReduce semantics.
-    pub mode: ExecMode,
+    pub mode: Platform,
+    /// Host execution backend for the real computation behind stages
+    /// (sequential or thread pool). Does not affect results — only wall
+    /// time; see [`ExecMode`].
+    pub exec: ExecMode,
     /// Cost constants.
     pub cost: CostModel,
     /// Optional virtual-time budget; exceeding it fails stages with
@@ -77,7 +86,8 @@ impl ClusterConfig {
             machines: 9,
             cores_per_machine: 8,
             mem_per_machine: 12 * (1 << 30),
-            mode: ExecMode::Spark,
+            mode: Platform::Spark,
+            exec: ExecMode::default(),
             cost: CostModel::default(),
             time_budget: Some(8.0 * 3600.0),
             straggler: None,
@@ -86,7 +96,7 @@ impl ClusterConfig {
 
     /// The same hardware driven as a MapReduce cluster (SCouT, FlexiFact).
     pub fn paper_mapreduce() -> Self {
-        ClusterConfig { mode: ExecMode::MapReduce, ..Self::paper_spark() }
+        ClusterConfig { mode: Platform::MapReduce, ..Self::paper_spark() }
     }
 
     /// A single 16 GB machine (the TFAI baseline's environment — one
@@ -96,7 +106,8 @@ impl ClusterConfig {
             machines: 1,
             cores_per_machine: 4,
             mem_per_machine: 16 * (1 << 30),
-            mode: ExecMode::Spark,
+            mode: Platform::Spark,
+            exec: ExecMode::default(),
             cost: CostModel::default(),
             time_budget: Some(8.0 * 3600.0),
             straggler: None,
@@ -109,7 +120,8 @@ impl ClusterConfig {
             machines,
             cores_per_machine: 2,
             mem_per_machine: 1 << 30,
-            mode: ExecMode::Spark,
+            mode: Platform::Spark,
+            exec: ExecMode::default(),
             cost: CostModel::default(),
             time_budget: None,
             straggler: None,
@@ -123,8 +135,14 @@ impl ClusterConfig {
     }
 
     /// Builder-style override of the execution mode.
-    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+    pub fn with_mode(mut self, mode: Platform) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Builder-style override of the host execution backend.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -151,9 +169,9 @@ mod tests {
         assert_eq!(spark.machines, 9);
         assert_eq!(spark.cores_per_machine, 8);
         assert_eq!(spark.mem_per_machine, 12 * (1 << 30));
-        assert_eq!(spark.mode, ExecMode::Spark);
+        assert_eq!(spark.mode, Platform::Spark);
         let mr = ClusterConfig::paper_mapreduce();
-        assert_eq!(mr.mode, ExecMode::MapReduce);
+        assert_eq!(mr.mode, Platform::MapReduce);
         assert_eq!(mr.machines, 9);
     }
 
@@ -162,9 +180,11 @@ mod tests {
         let c = ClusterConfig::paper_spark()
             .with_machines(4)
             .with_memory(1024)
-            .with_time_budget(None);
+            .with_time_budget(None)
+            .with_exec(ExecMode::Threads(4));
         assert_eq!(c.machines, 4);
         assert_eq!(c.mem_per_machine, 1024);
         assert_eq!(c.time_budget, None);
+        assert_eq!(c.exec, ExecMode::Threads(4));
     }
 }

@@ -28,14 +28,14 @@ impl<'c, T> Dist<'c, T> {
     /// accounting the initial placement stage (the `O(nnz)` initial
     /// shuffle of Lemma 3).
     pub fn from_vec(cluster: &'c Cluster, data: Vec<T>, num_parts: usize) -> Result<Self> {
-        assert!(num_parts > 0, "need at least one partition");
+        if num_parts == 0 {
+            return Err(DataflowError::Invalid("need at least one partition".into()));
+        }
         let record_bytes = std::mem::size_of::<T>().max(1);
         let mut parts: Vec<Vec<T>> = (0..num_parts).map(|_| Vec::new()).collect();
-        let n = data.len();
         for (i, item) in data.into_iter().enumerate() {
             parts[i % num_parts].push(item);
         }
-        let _ = n;
         let d = Dist { cluster, parts, record_bytes, persisted_bytes: None };
         // Loading counts as a scatter from the driver (hosted on machine 0)
         // plus one output-only stage.
@@ -153,14 +153,17 @@ impl<'c, T> Dist<'c, T> {
 
     /// Element-wise transformation (Spark `map`). `flops_per_record` feeds
     /// the time model; pass the per-record cost of `f`.
-    pub fn map<U>(&self, flops_per_record: f64, f: impl Fn(&T) -> U) -> Result<Dist<'c, U>> {
+    pub fn map<U>(&self, flops_per_record: f64, f: impl Fn(&T) -> U + Sync) -> Result<Dist<'c, U>>
+    where
+        T: Sync,
+        U: Send,
+    {
         let out_bytes = std::mem::size_of::<U>().max(1);
         self.stage(flops_per_record, out_bytes as f64 / self.record_bytes as f64)?;
         let parts = self
-            .parts
-            .iter()
-            .map(|part| part.iter().map(&f).collect())
-            .collect();
+            .cluster
+            .executor()
+            .run(&self.parts, |_, part| part.iter().map(&f).collect());
         Ok(Dist { cluster: self.cluster, parts, record_bytes: out_bytes, persisted_bytes: None })
     }
 
@@ -168,14 +171,17 @@ impl<'c, T> Dist<'c, T> {
     pub fn flat_map<U>(
         &self,
         flops_per_record: f64,
-        f: impl Fn(&T) -> Vec<U>,
-    ) -> Result<Dist<'c, U>> {
+        f: impl Fn(&T) -> Vec<U> + Sync,
+    ) -> Result<Dist<'c, U>>
+    where
+        T: Sync,
+        U: Send,
+    {
         let out_bytes = std::mem::size_of::<U>().max(1);
         let parts: Vec<Vec<U>> = self
-            .parts
-            .iter()
-            .map(|part| part.iter().flat_map(&f).collect())
-            .collect();
+            .cluster
+            .executor()
+            .run(&self.parts, |_, part| part.iter().flat_map(&f).collect());
         let out = Dist {
             cluster: self.cluster,
             parts,
@@ -200,16 +206,15 @@ impl<'c, T> Dist<'c, T> {
     }
 
     /// Keep records satisfying the predicate (Spark `filter`).
-    pub fn filter(&self, f: impl Fn(&T) -> bool) -> Result<Dist<'c, T>>
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Sync) -> Result<Dist<'c, T>>
     where
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         self.stage(1.0, 1.0)?;
         let parts = self
-            .parts
-            .iter()
-            .map(|part| part.iter().filter(|t| f(t)).cloned().collect())
-            .collect();
+            .cluster
+            .executor()
+            .run(&self.parts, |_, part| part.iter().filter(|t| f(t)).cloned().collect());
         Ok(Dist {
             cluster: self.cluster,
             parts,
@@ -224,15 +229,15 @@ impl<'c, T> Dist<'c, T> {
     pub fn map_partitions<U>(
         &self,
         flops: impl Fn(usize) -> f64,
-        f: impl Fn(usize, &[T]) -> Vec<U>,
-    ) -> Result<Dist<'c, U>> {
+        f: impl Fn(usize, &[T]) -> Vec<U> + Sync,
+    ) -> Result<Dist<'c, U>>
+    where
+        T: Sync,
+        U: Send,
+    {
         let out_bytes = std::mem::size_of::<U>().max(1);
-        let parts: Vec<Vec<U>> = self
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(p, part)| f(p, part))
-            .collect();
+        let parts: Vec<Vec<U>> =
+            self.cluster.executor().run(&self.parts, |p, part| f(p, part));
         let tasks: Vec<TaskCost> = self
             .parts
             .iter()
@@ -346,8 +351,8 @@ fn route<K: std::hash::Hash>(key: &K, parts: usize) -> usize {
 
 impl<'c, K, V> Dist<'c, (K, V)>
 where
-    K: Clone + Ord + std::hash::Hash,
-    V: Clone,
+    K: Clone + Ord + std::hash::Hash + Send + Sync,
+    V: Clone + Send + Sync,
 {
     /// Hash-partition records by key into `num_parts` partitions,
     /// accounting cross-machine movement. The building block of
@@ -382,13 +387,13 @@ where
         &self,
         num_parts: usize,
         flops_per_record: f64,
-        merge: impl Fn(&mut V, V),
+        merge: impl Fn(&mut V, V) + Sync,
     ) -> Result<Dist<'c, (K, V)>> {
         // Map-side combine: shrink each partition before the shuffle.
-        let combined: Vec<Vec<(K, V)>> = self
-            .parts
-            .iter()
-            .map(|part| {
+        // Partitions combine independently (BTreeMap keeps each one's
+        // key order), so this runs on the executor.
+        let combined: Vec<Vec<(K, V)>> =
+            self.cluster.executor().run(&self.parts, |_, part| {
                 let mut acc: BTreeMap<K, V> = BTreeMap::new();
                 for (k, v) in part {
                     match acc.get_mut(k) {
@@ -399,8 +404,7 @@ where
                     }
                 }
                 acc.into_iter().collect()
-            })
-            .collect();
+            });
         let pre = Dist {
             cluster: self.cluster,
             parts: combined,
@@ -409,22 +413,25 @@ where
         };
         pre.stage(flops_per_record, 1.0)?;
         let shuffled = pre.shuffle_by_key(num_parts)?;
-        // Reduce side.
-        let parts: Vec<Vec<(K, V)>> = shuffled
-            .into_iter()
-            .map(|part| {
-                let mut acc: BTreeMap<K, V> = BTreeMap::new();
-                for (k, v) in part {
-                    match acc.get_mut(&k) {
-                        Some(cur) => merge(cur, v),
-                        None => {
-                            acc.insert(k, v);
-                        }
+        // Reduce side: again one independent task per partition.
+        let mut shuffled = shuffled;
+        let mut parts: Vec<Vec<(K, V)>> =
+            (0..shuffled.len()).map(|_| Vec::new()).collect();
+        self.cluster.executor().run_mut(&mut shuffled, |_, part| {
+            let mut acc: BTreeMap<K, V> = BTreeMap::new();
+            for (k, v) in part.drain(..) {
+                match acc.get_mut(&k) {
+                    Some(cur) => merge(cur, v),
+                    None => {
+                        acc.insert(k, v);
                     }
                 }
-                acc.into_iter().collect()
-            })
-            .collect();
+            }
+            part.extend(acc);
+        });
+        for (dst, src) in parts.iter_mut().zip(shuffled) {
+            *dst = src;
+        }
         let out = Dist {
             cluster: self.cluster,
             parts,
@@ -440,8 +447,11 @@ where
     pub fn map_values<W>(
         &self,
         flops_per_record: f64,
-        f: impl Fn(&V) -> W,
-    ) -> Result<Dist<'c, (K, W)>> {
+        f: impl Fn(&V) -> W + Sync,
+    ) -> Result<Dist<'c, (K, W)>>
+    where
+        W: Send,
+    {
         self.map(flops_per_record, |(k, v)| (k.clone(), f(v)))
     }
 
@@ -535,7 +545,7 @@ where
     /// `(K, (V, W))` combination.
     pub fn join<W>(&self, other: &Dist<'c, (K, W)>, num_parts: usize) -> Result<Dist<'c, (K, (V, W))>>
     where
-        W: Clone,
+        W: Clone + Send + Sync,
     {
         if !std::ptr::eq(self.cluster, other.cluster) {
             return Err(DataflowError::Invalid(
@@ -615,6 +625,42 @@ mod tests {
         assert_eq!(d.len(), 10);
         assert_eq!(d.parts()[0], vec![0, 4, 8]);
         assert_eq!(d.parts()[3], vec![3, 7]);
+    }
+
+    #[test]
+    fn from_vec_zero_parts_errors() {
+        let c = cluster();
+        let err = match Dist::from_vec(&c, vec![1, 2, 3], 0) {
+            Err(e) => e,
+            Ok(_) => panic!("zero partitions must be rejected"),
+        };
+        match err {
+            DataflowError::Invalid(msg) => {
+                assert!(msg.contains("partition"), "message names the problem: {msg}")
+            }
+            other => panic!("expected Invalid error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_cluster_matches_sequential_ops() {
+        use crate::exec::ExecMode;
+        let seq = Cluster::new(ClusterConfig::test(3).with_exec(ExecMode::Sequential));
+        let par = Cluster::new(ClusterConfig::test(3).with_exec(ExecMode::Threads(4)));
+        for c in [&seq, &par] {
+            let d = Dist::from_vec(c, (0..100i64).collect(), 7).unwrap();
+            let mapped = d.map(1.0, |x| x * 3 + 1).unwrap();
+            let kv = mapped.map(1.0, |&x| (x % 5, x as f64)).unwrap();
+            let summed = kv.reduce_by_key(4, 1.0, |a, b| *a += b).unwrap();
+            let mut got = summed.collect().unwrap();
+            got.sort_by_key(|&(k, _)| k);
+            let mut want = std::collections::BTreeMap::new();
+            for x in 0..100i64 {
+                let y = x * 3 + 1;
+                *want.entry(y % 5).or_insert(0.0) += y as f64;
+            }
+            assert_eq!(got, want.into_iter().collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -16,23 +16,26 @@
 //! * **shuffled bytes** — every record that crosses a machine boundary is
 //!   counted (the quantity of Lemma 3).
 //!
-//! The host machine's physical parallelism is irrelevant: "machines" are
-//! accounting domains, and tasks execute sequentially in partition order,
-//! which makes every run bit-for-bit reproducible. Spark-vs-Hadoop is
-//! modelled by [`ExecMode`]: `MapReduce` charges disk I/O for every
-//! stage's inputs and outputs and makes caching worthless, which is the
-//! paper's explanation for SCouT/FlexiFact's slow convergence (Figs. 6b,
-//! 7b).
+//! "Machines" are accounting domains decoupled from the host's physical
+//! cores: results are assembled in partition order regardless of which
+//! host thread computed what, which keeps every run bit-for-bit
+//! reproducible even under [`ExecMode::Threads`] (see [`exec`]).
+//! Spark-vs-Hadoop is modelled by [`Platform`]: `MapReduce` charges disk
+//! I/O for every stage's inputs and outputs and makes caching worthless,
+//! which is the paper's explanation for SCouT/FlexiFact's slow
+//! convergence (Figs. 6b, 7b).
 
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod config;
 pub mod dist;
+pub mod exec;
 
 pub use cluster::{Cluster, Metrics};
-pub use config::{ClusterConfig, CostModel, ExecMode};
+pub use config::{ClusterConfig, CostModel, Platform};
 pub use dist::{Broadcast, Dist};
+pub use exec::{even_ranges, ExecMode, Executor};
 
 /// Errors surfaced by the engine. `OutOfMemory` and `OutOfTime` are
 /// *results* of the simulation (they reproduce the paper's O.O.M./O.O.T.

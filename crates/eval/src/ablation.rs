@@ -191,7 +191,7 @@ pub fn ablate_substrate(
     iters: usize,
 ) -> Result<SubstrateAblation> {
     let observed = distenc_datagen::synthetic::scalability_tensor(&[dim; 3], nnz, 13);
-    let run = |mode: distenc_dataflow::ExecMode| -> Result<f64> {
+    let run = |mode: distenc_dataflow::Platform| -> Result<f64> {
         let cc = ClusterConfig::test(machines)
             .with_mode(mode)
             .with_time_budget(None);
@@ -201,8 +201,8 @@ pub fn ablate_substrate(
         Ok(cluster.now())
     };
     Ok(SubstrateAblation {
-        spark_seconds: run(distenc_dataflow::ExecMode::Spark)?,
-        mapreduce_seconds: run(distenc_dataflow::ExecMode::MapReduce)?,
+        spark_seconds: run(distenc_dataflow::Platform::Spark)?,
+        mapreduce_seconds: run(distenc_dataflow::Platform::MapReduce)?,
     })
 }
 

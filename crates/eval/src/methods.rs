@@ -267,10 +267,10 @@ mod tests {
 
     #[test]
     fn substrates_match_the_paper() {
-        use distenc_dataflow::ExecMode;
-        assert_eq!(Method::DisTenC.cluster_config().mode, ExecMode::Spark);
-        assert_eq!(Method::Scout.cluster_config().mode, ExecMode::MapReduce);
-        assert_eq!(Method::FlexiFact.cluster_config().mode, ExecMode::MapReduce);
+        use distenc_dataflow::Platform;
+        assert_eq!(Method::DisTenC.cluster_config().mode, Platform::Spark);
+        assert_eq!(Method::Scout.cluster_config().mode, Platform::MapReduce);
+        assert_eq!(Method::FlexiFact.cluster_config().mode, Platform::MapReduce);
         assert_eq!(Method::Tfai.cluster_config().machines, 1);
         assert!(!Method::Als.uses_aux());
         assert!(Method::DisTenC.uses_aux());

@@ -203,6 +203,46 @@ impl Mat {
         g
     }
 
+    /// Partial Gram: the contribution of rows `rows.start..rows.end` to
+    /// `selfᵀ * self`, upper triangle only (the lower triangle is left
+    /// zero). Summing the partials of a disjoint cover of `0..rows()` in
+    /// a fixed order and then calling [`Mat::mirror_upper`] yields a full
+    /// Gram matrix whose bits depend only on that cover and order — never
+    /// on which thread computed which partial. Out-of-range rows are
+    /// clamped off.
+    pub fn gram_range(&self, rows: std::ops::Range<usize>) -> Mat {
+        let r = self.cols;
+        let mut g = Mat::zeros(r, r);
+        let lo = rows.start.min(self.rows);
+        let hi = rows.end.min(self.rows);
+        for i in lo..hi {
+            let row = &self.data[i * r..(i + 1) * r];
+            for j in 0..r {
+                let v = row[j];
+                if v == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[j * r..(j + 1) * r];
+                for (k, &w) in row.iter().enumerate().skip(j) {
+                    g_row[k] += v * w;
+                }
+            }
+        }
+        g
+    }
+
+    /// Mirror the strictly-upper triangle into the lower one in place
+    /// (finishes a sum of [`Mat::gram_range`] partials).
+    pub fn mirror_upper(&mut self) {
+        debug_assert_eq!(self.rows, self.cols, "mirror_upper needs a square matrix");
+        let r = self.cols;
+        for j in 0..r {
+            for k in (j + 1)..r {
+                self.data[k * r + j] = self.data[j * r + k];
+            }
+        }
+    }
+
     /// Element-wise (Hadamard) product, Definition 2.1.4.
     pub fn hadamard(&self, rhs: &Mat) -> Result<Mat> {
         if self.shape() != rhs.shape() {
@@ -502,6 +542,28 @@ mod tests {
         let a = Mat::from_rows(&[&[1.0, 2.0]]);
         let b = Mat::from_rows(&[&[3.0, 4.0]]);
         assert_eq!(a.inner(&b).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn gram_range_full_cover_is_bitwise_gram() {
+        // A single range covering every row walks the exact same loop as
+        // `gram()`, so the result is bit-identical, not merely close.
+        let a = Mat::random(17, 5, 42);
+        let mut g = a.gram_range(0..17);
+        g.mirror_upper();
+        assert_eq!(g, a.gram());
+    }
+
+    #[test]
+    fn gram_range_partials_sum_to_gram() {
+        let a = Mat::random(23, 4, 7);
+        let mut sum = a.gram_range(0..9);
+        for r in [9..16, 16..23, 23..40] {
+            sum.axpy(1.0, &a.gram_range(r)).unwrap();
+        }
+        sum.mirror_upper();
+        let full = a.gram();
+        assert!(sum.frob_dist(&full).unwrap() < 1e-12 * full.frob_norm().max(1.0));
     }
 
     #[test]

@@ -416,4 +416,67 @@ mod tests {
         assert!((s.mean - 20.0).abs() < 1e-12);
         assert!((s.imbalance - 1.5).abs() < 1e-12);
     }
+
+    /// A Zipf(s) histogram over `len` slices scaled so the head carries
+    /// `head` records — the skew of §IV-A's "skewed" synthetic tensors.
+    fn zipf_histogram(len: usize, s: f64, head: usize) -> Vec<usize> {
+        (1..=len)
+            .map(|i| ((head as f64 / (i as f64).powf(s)).round() as usize).max(1))
+            .collect()
+    }
+
+    /// Lemma 1: a greedy cut never overshoots the ideal load `δ = total/P`
+    /// by more than one slice, so every partition's load is at most
+    /// `δ + max θᵢ`. Checked on heavy Zipf skew, where equal-width
+    /// partitioning fails badly.
+    #[test]
+    fn greedy_respects_lemma_1_bound_on_zipf_skew() {
+        for (s, parts) in [(1.0, 4), (1.5, 8), (2.0, 3), (0.8, 16)] {
+            let theta = zipf_histogram(200, s, 10_000);
+            let total: usize = theta.iter().sum();
+            let delta = total as f64 / parts as f64;
+            let theta_max = *theta.iter().max().unwrap() as f64;
+            let part = ModePartition::from_histogram(&theta, parts);
+            assert_eq!(part.parts(), parts);
+            let loads: Vec<usize> = (0..parts)
+                .map(|p| part.range(p).map(|i| theta[i]).sum())
+                .collect();
+            assert_eq!(loads.iter().sum::<usize>(), total, "loads cover everything");
+            let stats = BalanceStats::from_counts(&loads);
+            assert!(
+                (stats.max as f64) <= delta + theta_max + 1e-9,
+                "Lemma 1: max load {} > δ {delta} + θmax {theta_max} (s={s}, P={parts})",
+                stats.max
+            );
+            assert!(stats.mean > 0.0);
+            assert!(stats.imbalance >= 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn greedy_degenerate_inputs_do_not_panic() {
+        // Empty histogram: every partition is an empty tail at 0.
+        let b = greedy_boundaries(&[], 4);
+        assert_eq!(b, vec![0, 0, 0, 0]);
+        // More partitions than slices: trailing partitions are empty but
+        // the boundary list still has exactly `parts` entries ending at I.
+        let b = greedy_boundaries(&[5, 5, 5], 7);
+        assert_eq!(b.len(), 7);
+        assert_eq!(*b.last().unwrap(), 3);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]), "non-decreasing: {b:?}");
+        // All-zero histogram (a mode with no observed entries).
+        let b = greedy_boundaries(&[0, 0, 0, 0], 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(*b.last().unwrap(), 4);
+        // One slice holding everything.
+        let b = greedy_boundaries(&[1_000_000], 5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(*b.last().unwrap(), 1);
+        // ModePartition wrappers on the same degenerate shapes.
+        assert_eq!(ModePartition::from_histogram(&[], 3).parts(), 3);
+        assert_eq!(ModePartition::equal_width(2, 9).parts(), 9);
+        // BalanceStats on empty-tail loads must not divide by zero.
+        let s = BalanceStats::from_counts(&[0, 0, 0]);
+        assert_eq!(s.max, 0);
+    }
 }

@@ -3,6 +3,7 @@
 
 use crate::coo::CooTensor;
 use crate::{Result, TensorError};
+use distenc_dataflow::Executor;
 use distenc_linalg::Mat;
 
 /// Row-wise MTTKRP (Eq. 10/11): `H = X₍ₙ₎ U⁽ⁿ⁾` computed directly from COO
@@ -32,6 +33,83 @@ pub fn mttkrp(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<Mat> {
         for (o, &s) in out.iter_mut().zip(&scratch) {
             *o += s;
         }
+    }
+    Ok(h)
+}
+
+/// Block-parallel MTTKRP over mode-`mode` row ranges.
+///
+/// `boundaries` are Algorithm 2-style ascending cut points over the mode's
+/// index space: part `p` owns output rows `boundaries[p-1]..boundaries[p]`
+/// (part 0 starts at row 0), and the last boundary must equal the mode's
+/// dimension. Each part becomes one work unit on `exec`, accumulating into
+/// its own row slab — no atomics, no shared writes — and the slabs are
+/// copied into disjoint row ranges of `H` afterwards.
+///
+/// **Bit-exact for every blocking and every [`ExecMode`]**: bucketing the
+/// entries with a single forward scan preserves each bucket's original
+/// entry order, and a row of `H` is only ever touched by the one part that
+/// owns it, so every output row sums its contributions in exactly the
+/// order the sequential [`mttkrp`] uses.
+///
+/// [`ExecMode`]: distenc_dataflow::ExecMode
+pub fn mttkrp_blocked(
+    x: &CooTensor,
+    factors: &[Mat],
+    mode: usize,
+    boundaries: &[usize],
+    exec: &Executor,
+) -> Result<Mat> {
+    validate(x, factors, mode)?;
+    let dim = x.shape()[mode];
+    let ok = boundaries.last() == Some(&dim)
+        && boundaries.windows(2).all(|w| w[0] <= w[1]);
+    if !ok {
+        return Err(TensorError::ShapeMismatch(format!(
+            "boundaries {boundaries:?} do not cover mode-{mode} rows 0..{dim}"
+        )));
+    }
+    let r = factors[0].cols();
+    // Bucket entry positions by owning part. The forward scan keeps each
+    // bucket in original entry order — the load-bearing step for
+    // bit-exactness (see above).
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len()];
+    for pos in 0..x.nnz() {
+        let i = x.index(pos)[mode];
+        let part = boundaries.partition_point(|&b| b <= i);
+        buckets[part].push(pos);
+    }
+    let starts: Vec<usize> =
+        std::iter::once(0).chain(boundaries.iter().copied()).collect();
+    let slabs = exec.run(&buckets, |p, bucket| {
+        let lo = starts[p];
+        let mut slab = Mat::zeros(boundaries[p] - lo, r);
+        let mut scratch = vec![0.0; r];
+        for &pos in bucket {
+            let idx = x.index(pos);
+            let v = x.value(pos);
+            scratch.iter_mut().for_each(|s| *s = v);
+            for (k, f) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                let row = f.row(idx[k]);
+                for (s, &a) in scratch.iter_mut().zip(row) {
+                    *s *= a;
+                }
+            }
+            let out = slab.row_mut(idx[mode] - lo);
+            for (o, &s) in out.iter_mut().zip(&scratch) {
+                *o += s;
+            }
+        }
+        slab
+    });
+    // Stitch the slabs into disjoint row ranges, in fixed part order.
+    let mut h = Mat::zeros(dim, r);
+    for (&lo, slab) in starts.iter().zip(&slabs) {
+        h.as_mut_slice()[lo * r..(lo + slab.rows()) * r]
+            .copy_from_slice(slab.as_slice());
     }
     Ok(h)
 }
@@ -137,6 +215,49 @@ mod tests {
                 assert!((a - b).abs() < 1e-10);
             }
         }
+    }
+
+    #[test]
+    fn mttkrp_blocked_is_bitwise_identical_to_sequential() {
+        use distenc_dataflow::{ExecMode, Executor};
+        let shape = [13, 7, 5];
+        let x = random_coo(&shape, 150, 4);
+        let k = KruskalTensor::random(&shape, 3, 5);
+        let seq = Executor::new(ExecMode::Sequential);
+        let par = Executor::new(ExecMode::Threads(3));
+        for (mode, &dim) in shape.iter().enumerate() {
+            let want = mttkrp(&x, k.factors(), mode).unwrap();
+            // Several blockings, including degenerate (empty parts, one
+            // part, one row per part): all must be *bit*-identical.
+            let cuts: Vec<Vec<usize>> = vec![
+                vec![dim],
+                vec![dim / 2, dim],
+                vec![0, 1, dim / 3, dim / 2, dim, dim],
+                (1..=dim).collect(),
+            ];
+            for boundaries in &cuts {
+                for exec in [&seq, &par] {
+                    let got =
+                        mttkrp_blocked(&x, k.factors(), mode, boundaries, exec).unwrap();
+                    assert_eq!(
+                        got.as_slice(),
+                        want.as_slice(),
+                        "mode {mode}, cuts {boundaries:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mttkrp_blocked_rejects_bad_boundaries() {
+        use distenc_dataflow::{ExecMode, Executor};
+        let x = random_coo(&[4, 4], 5, 1);
+        let k = KruskalTensor::random(&[4, 4], 2, 2);
+        let exec = Executor::new(ExecMode::Sequential);
+        assert!(mttkrp_blocked(&x, k.factors(), 0, &[], &exec).is_err());
+        assert!(mttkrp_blocked(&x, k.factors(), 0, &[2], &exec).is_err()); // short
+        assert!(mttkrp_blocked(&x, k.factors(), 0, &[3, 2, 4], &exec).is_err()); // unsorted
     }
 
     #[test]

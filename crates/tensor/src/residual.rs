@@ -16,8 +16,9 @@
 
 use crate::coo::CooTensor;
 use crate::kruskal::KruskalTensor;
-use crate::mttkrp::{gram_product, mttkrp};
+use crate::mttkrp::{gram_product, mttkrp, mttkrp_blocked};
 use crate::{Result, TensorError};
+use distenc_dataflow::{even_ranges, Executor};
 use distenc_linalg::Mat;
 
 /// Compute the residual tensor `E = Ω ∗ (T − [[A…]])` (Eq. 14). `E` shares
@@ -60,6 +61,42 @@ pub fn residual_into(
     Ok(())
 }
 
+/// [`residual_into`] with the per-entry evaluations spread over `exec`.
+///
+/// Every residual entry `e[i] = t[i] − [[A…]](idx[i])` is independent of
+/// every other, so *any* chunking is bit-identical to the sequential
+/// loop; chunks exist only to amortize task dispatch. Entry values are
+/// computed into per-chunk buffers and copied back in chunk order.
+pub fn residual_into_exec(
+    observed: &CooTensor,
+    model: &KruskalTensor,
+    e: &mut CooTensor,
+    exec: &Executor,
+) -> Result<()> {
+    if e.nnz() != observed.nnz() || e.shape() != observed.shape() {
+        if observed.shape() != model.shape().as_slice() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "observed shape {:?} vs model shape {:?}",
+                observed.shape(),
+                model.shape()
+            )));
+        }
+        *e = observed.clone();
+    }
+    let chunks = even_ranges(observed.nnz(), exec.threads() * 4);
+    let computed = exec.run(&chunks, |_, range| {
+        range
+            .clone()
+            .map(|i| observed.value(i) - model.eval(observed.index(i)))
+            .collect::<Vec<f64>>()
+    });
+    let vals = e.values_mut();
+    for (range, chunk) in chunks.iter().zip(computed) {
+        vals[range.clone()].copy_from_slice(&chunk);
+    }
+    Ok(())
+}
+
 /// The completed-tensor MTTKRP via the residual trick (Eq. 16):
 ///
 /// `H₁ = A⁽ⁿ⁾ · F⁽ⁿ⁾ + E₍ₙ₎U⁽ⁿ⁾` with `F⁽ⁿ⁾ = U⁽ⁿ⁾ᵀU⁽ⁿ⁾` from cached Grams.
@@ -74,6 +111,25 @@ pub fn completed_mttkrp(
     let f = gram_product(grams, mode)?;
     let mut h = model.factors()[mode].matmul(&f)?;
     let sparse_part = mttkrp(e, model.factors(), mode)?;
+    h.axpy(1.0, &sparse_part)?;
+    Ok(h)
+}
+
+/// [`completed_mttkrp`] with the sparse part computed by
+/// [`mttkrp_blocked`] over `boundaries` on `exec`. Bit-identical to the
+/// sequential version for every blocking (see [`mttkrp_blocked`]); the
+/// dense `A⁽ⁿ⁾F⁽ⁿ⁾` part is cheap and stays on the calling thread.
+pub fn completed_mttkrp_exec(
+    e: &CooTensor,
+    model: &KruskalTensor,
+    grams: &[Mat],
+    mode: usize,
+    boundaries: &[usize],
+    exec: &Executor,
+) -> Result<Mat> {
+    let f = gram_product(grams, mode)?;
+    let mut h = model.factors()[mode].matmul(&f)?;
+    let sparse_part = mttkrp_blocked(e, model.factors(), mode, boundaries, exec)?;
     h.axpy(1.0, &sparse_part)?;
     Ok(h)
 }
@@ -156,6 +212,47 @@ mod tests {
         residual_into(&t, &k2, &mut e).unwrap();
         let fresh = residual(&t, &k2).unwrap();
         assert_eq!(e, fresh);
+    }
+
+    #[test]
+    fn residual_into_exec_is_bitwise_identical() {
+        use distenc_dataflow::{ExecMode, Executor};
+        let k = KruskalTensor::random(&[6, 5, 4], 3, 9);
+        let t = random_coo(&[6, 5, 4], 40, 2);
+        let mut seq_e = residual(&t, &k).unwrap();
+        residual_into(&t, &k, &mut seq_e).unwrap();
+        for mode in [ExecMode::Sequential, ExecMode::Threads(3)] {
+            let exec = Executor::new(mode);
+            // Fresh allocation path.
+            let mut e = CooTensor::new(vec![1]);
+            residual_into_exec(&t, &k, &mut e, &exec).unwrap();
+            assert_eq!(e, seq_e);
+            // In-place refresh path.
+            let k2 = KruskalTensor::random(&[6, 5, 4], 3, 10);
+            let mut want = seq_e.clone();
+            residual_into(&t, &k2, &mut want).unwrap();
+            residual_into_exec(&t, &k2, &mut e, &exec).unwrap();
+            assert_eq!(e, want);
+        }
+    }
+
+    #[test]
+    fn completed_mttkrp_exec_is_bitwise_identical() {
+        use distenc_dataflow::{ExecMode, Executor};
+        let shape = [5, 4, 6];
+        let model = KruskalTensor::random(&shape, 3, 11);
+        let t = random_coo(&shape, 30, 3);
+        let e = residual(&t, &model).unwrap();
+        let grams: Vec<Mat> = model.factors().iter().map(Mat::gram).collect();
+        let exec = Executor::new(ExecMode::Threads(4));
+        for (mode, &dim) in shape.iter().enumerate() {
+            let want = completed_mttkrp(&e, &model, &grams, mode).unwrap();
+            let boundaries = [dim.div_ceil(2), dim];
+            let got =
+                completed_mttkrp_exec(&e, &model, &grams, mode, &boundaries, &exec)
+                    .unwrap();
+            assert_eq!(got.as_slice(), want.as_slice(), "mode {mode}");
+        }
     }
 
     #[test]

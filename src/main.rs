@@ -66,6 +66,8 @@ USAGE:
   distenc complete --input FILE --rank R --out MODEL
                    [--similarity FILE@MODE].. [--alpha A] [--lambda L]
                    [--iters T] [--tol EPS] [--eigen-k K] [--seed S] [--nonneg]
+                   [--threads N]      (N >= 2 enables the thread-pool backend;
+                                       results are bit-identical either way)
   distenc evaluate --model MODEL --test FILE
   distenc predict  --model MODEL --at i1,i2,..
   distenc predict  --model MODEL --at-file FILE         (scores every index)
@@ -186,6 +188,14 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
         eigen_k: opts.get("eigen-k").map_or(Ok(20), |s| parse_num(s, "eigen-k"))?,
         seed: opts.get("seed").map_or(Ok(42), |s| parse_num(s, "seed"))?,
         nonneg: opts.contains_key("nonneg"),
+        exec: match opts.get("threads") {
+            Some(s) => match parse_num::<usize>(s, "threads")? {
+                n if n >= 2 => distenc_dataflow::ExecMode::Threads(n),
+                _ => distenc_dataflow::ExecMode::Sequential,
+            },
+            // Unset: inherit the DISTENC_THREADS-driven default.
+            None => distenc_dataflow::ExecMode::default(),
+        },
         ..Default::default()
     };
 

@@ -1,0 +1,289 @@
+//! Offline shim for the subset of `scoped_pool` this workspace uses.
+//!
+//! A [`Pool`] owns a fixed set of worker threads that outlive any single
+//! batch of work; [`Pool::scoped`] opens a [`Scope`] through which tasks
+//! borrowing from the caller's stack can be submitted. `scoped` does not
+//! return until every task submitted through its scope has finished, which
+//! is what makes the stack borrows sound. Vendored because the build
+//! environment has no crates.io access; only `new`/`threads`/`scoped`/
+//! `Scope::execute` from the real crate's surface are provided.
+//!
+//! Panic behavior: a panicking task does not kill its worker thread; the
+//! panic is caught, the scope is flagged, and `scoped` re-panics after all
+//! tasks of the scope have drained.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work. Jobs are `'static` from the queue's point
+/// of view; [`Scope::execute`] erases the scope lifetime after arranging
+/// (via the wait in [`Pool::scoped`]) that no job outlives the borrows it
+/// captures.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<(VecDeque<Job>, bool)>, // (pending jobs, shutting down)
+    ready: Condvar,
+}
+
+/// A fixed-size pool of reusable worker threads.
+pub struct Pool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.workers.len()).finish()
+    }
+}
+
+impl Pool {
+    /// Spawn a pool of `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Pool {
+        assert!(threads > 0, "pool needs at least one thread");
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("scoped-pool-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Pool { queue, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Open a scope: tasks submitted via [`Scope::execute`] may borrow
+    /// anything that outlives the `scoped` call. Returns `f`'s result
+    /// after **all** submitted tasks have completed; re-panics if any
+    /// task panicked.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                drained: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            _marker: PhantomData,
+        };
+        // The guard waits for the scope to drain even if `f` unwinds —
+        // without it a panic in `f` would free borrowed stack slots while
+        // workers still hold them.
+        struct Drain<'a>(&'a ScopeState);
+        impl Drop for Drain<'_> {
+            fn drop(&mut self) {
+                self.0.wait_drained();
+            }
+        }
+        let out = {
+            let _guard = Drain(&scope.state);
+            f(&scope)
+        };
+        if scope.state.panicked.load(Ordering::SeqCst) {
+            panic!("scoped_pool: a scoped task panicked");
+        }
+        out
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.queue.jobs.lock().unwrap();
+            q.1 = true;
+        }
+        self.queue.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut q = queue.jobs.lock().unwrap();
+            loop {
+                if let Some(job) = q.0.pop_front() {
+                    break job;
+                }
+                if q.1 {
+                    return; // shutting down and no work left
+                }
+                q = queue.ready.wait(q).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    drained: Condvar,
+    panicked: AtomicBool,
+}
+
+impl ScopeState {
+    fn wait_drained(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.drained.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Handle for submitting borrowing tasks to a [`Pool`]; see
+/// [`Pool::scoped`].
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    state: Arc<ScopeState>,
+    // Invariant over 'scope: a scope must not be coerced to a shorter
+    // lifetime, or tasks could capture borrows that end too early.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Submit a task. It may run on any worker, at any time before the
+    /// enclosing [`Pool::scoped`] returns.
+    pub fn execute<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                state.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.drained.notify_all();
+            }
+        });
+        // SAFETY: `Pool::scoped` blocks (via the `Drain` guard) until
+        // `pending` reaches zero, i.e. until this closure has run to
+        // completion, so nothing borrowed for 'scope is dropped while the
+        // erased job can still touch it.
+        let wrapped: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped)
+        };
+        {
+            let mut q = self.pool.queue.jobs.lock().unwrap();
+            q.0.push_back(wrapped);
+        }
+        self.pool.queue.ready.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..100 {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn tasks_borrow_stack_data() {
+        let pool = Pool::new(3);
+        let mut slots = [0usize; 16];
+        pool.scoped(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.execute(move || *slot = i * i);
+            }
+        });
+        for (i, &s) in slots.iter().enumerate() {
+            assert_eq!(s, i * i);
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = Pool::new(2);
+        for round in 0..5 {
+            let total = AtomicUsize::new(0);
+            pool.scoped(|scope| {
+                for _ in 0..10 {
+                    scope.execute(|| {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 10, "round {round}");
+        }
+    }
+
+    #[test]
+    fn scoped_returns_closure_result() {
+        let pool = Pool::new(2);
+        let out = pool.scoped(|_| 41 + 1);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn panicking_task_propagates_after_drain() {
+        let pool = Pool::new(2);
+        let done = AtomicUsize::new(0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("boom"));
+                for _ in 0..8 {
+                    scope.execute(|| {
+                        done.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(res.is_err(), "scope must re-panic");
+        // All non-panicking siblings still ran — and the pool survives.
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        let ok = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = Pool::new(0);
+    }
+}
