@@ -15,6 +15,12 @@ DISTENC_THREADS=1 cargo test -q
 echo "==> DISTENC_THREADS=4 cargo test -q"
 DISTENC_THREADS=4 cargo test -q
 
+# The allocation-budget gate needs the counting global allocator, which
+# only exists behind the alloc-count feature; it runs the solver itself,
+# so it is kept out of the default feature set (and the two sweeps above).
+echo "==> cargo test -q --features alloc-count --test alloc_budget"
+cargo test -q --features alloc-count --test alloc_budget
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

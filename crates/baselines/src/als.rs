@@ -25,7 +25,7 @@ use distenc_dataflow::cluster::TaskCost;
 use distenc_dataflow::{Cluster, ClusterConfig};
 use distenc_linalg::{Cholesky, Mat};
 use distenc_tensor::mttkrp::gram_product;
-use distenc_tensor::residual::{completed_mttkrp, residual_into};
+use distenc_tensor::residual::{completed_mttkrp_with_gram, residual_into};
 use distenc_tensor::{CooTensor, KruskalTensor};
 use std::time::Instant;
 
@@ -108,7 +108,11 @@ impl<'c> AlsSolver<'c> {
             let mut delta = 0.0_f64;
             for n in 0..n_modes {
                 let mut f = gram_product(&grams, n)?;
-                let h = completed_mttkrp(&e, &model, &grams, n)?;
+                // Reuse the Gram product already in hand for the normal
+                // equations instead of recomputing it inside the MTTKRP
+                // (bit-identical: F is a deterministic function of the
+                // Grams).
+                let h = completed_mttkrp_with_gram(&e, &model, &f, n)?;
                 f.add_diag(self.cfg.lambda);
                 let a_new = Cholesky::factor(&f)?.solve_right(&h)?;
                 delta = delta.max(model.factors()[n].frob_dist(&a_new)?);

@@ -17,14 +17,11 @@
 //! the mode updates independent — and therefore distributable.
 
 use crate::config::AdmmConfig;
-use crate::trace::{ConvergenceTrace, TracePoint};
+use crate::solver::{self, HostBackend, ResidualStore, SolverState};
 use crate::{CompletionResult, CoreError, Result};
-use distenc_graph::{Laplacian, TruncatedLaplacian};
-use distenc_linalg::{Cholesky, Mat};
 use distenc_dataflow::Executor;
-use distenc_tensor::mttkrp::gram_product;
-use distenc_tensor::residual::{completed_mttkrp_exec, residual};
-use distenc_tensor::{CooTensor, KruskalTensor};
+use distenc_graph::{Laplacian, TruncatedLaplacian};
+use distenc_tensor::{CooTensor, CsfTensor, KruskalTensor};
 use std::time::Instant;
 
 /// The serial Algorithm 1 solver.
@@ -140,9 +137,10 @@ pub(crate) fn truncate_all(
         .collect()
 }
 
-/// The core iteration, shared in spirit with the distributed solver; the
-/// `clock` closure stamps each trace point (wall time here, virtual
-/// cluster time there).
+/// The host driver: build the single-machine backend and state, then run
+/// the shared core ([`solver::run`]). The `clock` closure stamps each
+/// trace point (wall time here, virtual cluster time for the distributed
+/// driver).
 pub(crate) fn solve_with(
     observed: &CooTensor,
     truncated: &[TruncatedLaplacian],
@@ -150,127 +148,51 @@ pub(crate) fn solve_with(
     initial: Option<KruskalTensor>,
     clock: impl Fn(usize) -> f64,
 ) -> Result<CompletionResult> {
-    let shape = observed.shape().to_vec();
-    let n_modes = shape.len();
-    let rank = cfg.rank;
+    let n_modes = observed.order();
 
-    // Line 1/4: A⁽ⁿ⁾₀ random ≥ 0 (or the warm start), B = Y = 0.
-    let mut model =
-        initial.unwrap_or_else(|| KruskalTensor::random(&shape, rank, cfg.seed));
-    let mut b_aux: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
-    let mut y_mul: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
-
-    // Line 5: the initial residual E₀ = Ω∗(T − [[A₀…]]).
-    let mut e = residual(observed, &model)?;
-    let mut grams: Vec<Mat> = model.factors().iter().map(Mat::gram).collect();
-
-    // Host backend for the per-iteration kernels. The per-mode MTTKRP
-    // boundaries (Algorithm 2's greedy balancing over slice loads) are
-    // computed once — the support never changes — and any blocking is
-    // bit-exact, so sizing them to the thread count is free.
+    // The per-mode MTTKRP boundaries (Algorithm 2's greedy balancing over
+    // slice loads) are computed once — the support never changes — and
+    // any blocking is bit-exact, so sizing them to the thread count is
+    // free.
     let exec = Executor::new(cfg.exec);
-    let mode_boundaries: Vec<Vec<usize>> = (0..n_modes)
+    let boundaries: Vec<Vec<usize>> = (0..n_modes)
         .map(|n| {
             distenc_partition::greedy_boundaries(&observed.slice_nnz(n), exec.threads())
         })
         .collect();
 
-    // Optional CSF path (§III-C's fiber layout): the index trees are
-    // built once per mode — the support never changes — and only the
-    // residual *values* are refreshed each iteration.
-    let mut csf: Vec<distenc_tensor::CsfTensor> = if cfg.use_csf {
+    // The residual shares the observed support; its values start stale
+    // (they still hold `T`'s) and solver::run's prologue refreshes them
+    // before anything reads them. The optional CSF trees (§III-C's fiber
+    // layout) are likewise built once over the fixed support, values
+    // refreshed alongside `e`.
+    let e = observed.clone();
+    let csf: Vec<CsfTensor> = if cfg.use_csf {
         (0..n_modes)
-            .map(|n| distenc_tensor::CsfTensor::for_mode(&e, n))
+            .map(|n| CsfTensor::for_mode(&e, n))
             .collect::<distenc_tensor::Result<_>>()?
     } else {
         Vec::new()
     };
 
-    let mut eta = cfg.eta0;
-    let mut trace = ConvergenceTrace::new();
-    let mut converged = false;
-    let mut iterations = 0;
-
-    for t in 0..cfg.max_iters {
-        iterations = t + 1;
-        let mut new_factors: Vec<Mat> = Vec::with_capacity(n_modes);
-
-        for n in 0..n_modes {
-            // Line 8: B⁽ⁿ⁾ₜ₊₁ ← (ηI + αLₙ)⁻¹ (ηA⁽ⁿ⁾ₜ − Y⁽ⁿ⁾ₜ), via Eq. 7.
-            let mut rhs = model.factors()[n].scaled(eta);
-            rhs.axpy(-1.0, &y_mul[n])?;
-            b_aux[n] = truncated[n].apply_shifted_inverse(eta, cfg.alpha, &rhs)?;
-
-            // Line 9: Fⁿₜ = U⁽ⁿ⁾ᵀU⁽ⁿ⁾ from cached Grams (Eq. 12).
-            let f = gram_product(&grams, n)?;
-
-            // Line 10 + Eq. 16: H = A⁽ⁿ⁾ₜFⁿₜ + E₍ₙ₎U⁽ⁿ⁾.
-            let h = if cfg.use_csf {
-                let mut h = model.factors()[n].matmul(&f)?;
-                h.axpy(1.0, &csf[n].mttkrp_root(model.factors())?)?;
-                h
-            } else {
-                completed_mttkrp_exec(&e, &model, &grams, n, &mode_boundaries[n], &exec)?
-            };
-
-            // Line 11: A⁽ⁿ⁾ₜ₊₁ ← (H + ηB + Y)(Fⁿₜ + λI + ηI)⁻¹.
-            let mut numer = h;
-            numer.axpy(eta, &b_aux[n])?;
-            numer.axpy(1.0, &y_mul[n])?;
-            let mut denom = f;
-            denom.add_diag(cfg.lambda + eta);
-            let mut a_new = Cholesky::factor(&denom)?.solve_right(&numer)?;
-            if cfg.nonneg {
-                a_new.clamp_nonneg();
-            }
-
-            // Line 12: Y⁽ⁿ⁾ₜ₊₁ = Y⁽ⁿ⁾ₜ + η(B⁽ⁿ⁾ₜ₊₁ − A⁽ⁿ⁾ₜ₊₁).
-            let mut y_new = y_mul[n].clone();
-            y_new.axpy(eta, &b_aux[n].sub(&a_new)?)?;
-            y_mul[n] = y_new;
-
-            new_factors.push(a_new);
-        }
-
-        // Swap in the new factors (Jacobi update), measuring the
-        // convergence statistic of line 15.
-        let mut delta = 0.0_f64;
-        for (n, a_new) in new_factors.into_iter().enumerate() {
-            delta = delta.max(model.factors()[n].frob_dist(&a_new)?);
-            model.set_factor(n, a_new)?;
-            grams[n] = model.factors()[n].gram();
-        }
-
-        // Line 13: refresh the cached residual for the next iteration.
-        distenc_tensor::residual::residual_into_exec(observed, &model, &mut e, &exec)?;
-        for c in csf.iter_mut() {
-            c.set_values(&e)?;
-        }
-        let train_rmse = (e.frob_norm_sq() / observed.nnz() as f64).sqrt();
-        trace.push(TracePoint {
-            iter: t,
-            seconds: clock(t),
-            train_rmse,
-            factor_delta: delta,
-        });
-
-        // Line 14: penalty schedule.
-        eta = (cfg.rho * eta).min(cfg.eta_max);
-
-        // Lines 15–17.
-        if delta < cfg.tol {
-            converged = true;
-            break;
-        }
-    }
-
-    Ok(CompletionResult { model, trace, iterations, converged })
+    let mut backend = HostBackend::new(observed, &boundaries, cfg.rank, exec, clock)?;
+    let st = SolverState::new(
+        observed,
+        truncated,
+        cfg,
+        initial,
+        ResidualStore::Coo { e, csf },
+        boundaries,
+    )?;
+    solver::run(observed, truncated, cfg, &mut backend, st)
 }
+
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use distenc_graph::builders::tridiagonal_chain;
+    use distenc_linalg::Mat;
     use distenc_tensor::split::split_missing;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -1,9 +1,10 @@
 //! The distributed DisTenC solver (Algorithm 3) on the dataflow engine.
 //!
-//! Numerically this performs exactly the serial Algorithm 1 iteration (see
-//! [`crate::admm`]), but the work is organized the way §III-C/D and §III-F
-//! describe — and every stage, shuffle, and broadcast is accounted on the
-//! [`Cluster`]:
+//! Numerically this performs exactly the serial Algorithm 1 iteration —
+//! the step math itself lives in [`crate::solver`], shared with
+//! [`crate::AdmmSolver`] — but the work is organized the way §III-C/D and
+//! §III-F describe, and every stage, shuffle, and broadcast is accounted
+//! on the [`Cluster`]:
 //!
 //! * the observed tensor is split into `P₁×…×P_N` blocks with Algorithm 2
 //!   boundaries and the blocks are pinned to machines;
@@ -18,39 +19,27 @@
 //! * the `B⁽ⁿ⁾` update reduces the `K×R` projection `Vᵀ(ηA−Y)` the same
 //!   way (Eq. 7).
 //!
+//! This driver owns only what is genuinely distributed: the Algorithm 2
+//! blocking, the resident-memory ledger, and the one-off setup charges.
+//! The per-iteration decomposition and its charges live in the
+//! [`crate::solver::ClusterBackend`]; the iteration itself is
+//! [`crate::solver::run`].
+//!
 //! Floating-point note: per-block accumulation order differs from the
 //! serial solver's entry order, so iterates match the oracle to rounding,
 //! not bit-for-bit; the integration tests assert agreement to `1e-8`.
 
 use crate::admm::{truncate_all, validate_problem};
 use crate::config::AdmmConfig;
-use crate::trace::{ConvergenceTrace, TracePoint};
+use crate::solver::{self, BlockMeta, ClusterBackend, ResidualBlock, ResidualStore, SolverState};
 use crate::{CompletionResult, Result};
 use distenc_dataflow::cluster::TaskCost;
 use distenc_dataflow::Cluster;
 use distenc_graph::{Laplacian, TruncatedLaplacian};
-use distenc_linalg::{Cholesky, Mat};
-use distenc_partition::{ModePartition, TensorBlocks};
-use distenc_tensor::mttkrp::gram_product;
-use distenc_tensor::{CooTensor, KruskalTensor};
+use distenc_partition::TensorBlocks;
+use distenc_tensor::CooTensor;
 
 const F64: u64 = 8;
-
-/// One tensor block pinned to a machine, carrying its slice of the
-/// residual tensor (values parallel to `entries`).
-#[derive(Debug)]
-struct Block {
-    machine: usize,
-    /// Per-mode partition coordinates of this block.
-    coords: Vec<usize>,
-    entries: CooTensor,
-    /// Residual values `E = Ω∗(T − [[A…]])` restricted to this block.
-    e_vals: Vec<f64>,
-    /// Distinct mode-`n` indices appearing in this block (per mode) —
-    /// determines which factor rows the block needs and how large its
-    /// partial-`H` output is.
-    active: Vec<Vec<usize>>,
-}
 
 /// The distributed DisTenC solver bound to a simulated cluster.
 #[derive(Debug)]
@@ -96,22 +85,19 @@ impl<'c> DisTenC<'c> {
         // O(nnz(X)) term).
         self.charge_partition_shuffle(&blocking, entry_bytes)?;
 
-        let mut blocks: Vec<Block> = blocking
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(i, (id, t))| {
-                let active = (0..n_modes).map(|n| t.active_indices(n)).collect();
-                Block {
-                    machine: cl.machine_for_partition(i),
-                    coords: blocking.block_coords(*id),
-                    entries: t.clone(),
-                    e_vals: vec![0.0; t.nnz()],
-                    active,
-                }
-            })
-            .collect();
-        let mode_parts: Vec<ModePartition> = blocking.modes.clone();
+        let mut blocks: Vec<ResidualBlock> = Vec::with_capacity(blocking.blocks.len());
+        let mut meta: Vec<BlockMeta> = Vec::with_capacity(blocking.blocks.len());
+        for (i, (id, t)) in blocking.blocks.iter().enumerate() {
+            meta.push(BlockMeta {
+                machine: cl.machine_for_partition(i),
+                coords: blocking.block_coords(*id),
+                active: (0..n_modes).map(|n| t.active_indices(n)).collect(),
+            });
+            // Residual values start stale (zero); solver::run's prologue
+            // refreshes them before anything reads them.
+            blocks.push(ResidualBlock { entries: t.clone(), vals: vec![0.0; t.nnz()] });
+        }
+        let mode_parts = blocking.modes.clone();
 
         // ---- Resident memory: blocks, factor state, eigenbases ---------
         let mut reserved: Vec<(usize, u64)> = Vec::new();
@@ -120,10 +106,10 @@ impl<'c> DisTenC<'c> {
             reserved.push((mach, bytes));
             Ok(())
         };
-        for b in &blocks {
+        for (b, bm) in blocks.iter().zip(&meta) {
             // Tensor block + residual values.
             let bytes = b.entries.nnz() as u64 * (entry_bytes + F64);
-            reserve(b.machine, bytes)?;
+            reserve(bm.machine, bytes)?;
         }
         let truncated = self.truncate_charged(&shape, laplacians)?;
         for (n, part) in mode_parts.iter().enumerate() {
@@ -136,264 +122,34 @@ impl<'c> DisTenC<'c> {
             }
         }
 
-        // ---- State ------------------------------------------------------
-        let mut model = KruskalTensor::random(&shape, rank, self.cfg.seed);
-        let mut b_aux: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
-        let mut y_mul: Vec<Mat> = shape.iter().map(|&d| Mat::zeros(d, rank)).collect();
-        let mut grams: Vec<Mat> = model
-            .factors()
+        // ---- Delegate the iteration to the shared solver core ----------
+        let boundaries: Vec<Vec<usize>> = mode_parts
             .iter()
-            .zip(&mode_parts)
-            .map(|(f, part)| self.partitioned_gram(f, part))
+            .map(|part| (0..part.parts()).map(|p| part.range(p).end).collect())
             .collect();
-        self.charge_gram_stage(&mode_parts, rank)?;
+        let eigen_k: Vec<usize> = truncated.iter().map(|t| t.k()).collect();
+        let mut backend = ClusterBackend::new(cl, rank, mode_parts, meta, eigen_k);
+        let st = SolverState::new(
+            observed,
+            &truncated,
+            &self.cfg,
+            None,
+            ResidualStore::Blocked { blocks },
+            boundaries,
+        )?;
+        let result = solver::run(observed, &truncated, &self.cfg, &mut backend, st)?;
 
-        // Initial residual (line 5): needs every mode's rows at each block.
-        self.charge_factor_fetch(&blocks, &mode_parts, rank, None)?;
-        self.compute_residual_blocks(&mut blocks, observed, &model)?;
-
-        let mut eta = self.cfg.eta0;
-        let mut trace = ConvergenceTrace::new();
-        let mut converged = false;
-        let mut iterations = 0;
-
-        // ---- Main loop (Algorithm 3 lines 6–17) -------------------------
-        for t in 0..self.cfg.max_iters {
-            iterations = t + 1;
-            let mut new_factors: Vec<Mat> = Vec::with_capacity(n_modes);
-
-            for n in 0..n_modes {
-                // Line 8: B-update via the eigenbasis (Eq. 7).
-                let mut rhs = model.factors()[n].scaled(eta);
-                rhs.axpy(-1.0, &y_mul[n]).map_err(crate::CoreError::from)?;
-                self.charge_b_update(&mode_parts[n], rank, truncated[n].k())?;
-                b_aux[n] = truncated[n].apply_shifted_inverse(eta, self.cfg.alpha, &rhs)?;
-
-                // Line 9: Fⁿ from cached Grams (already computed this
-                // iteration); Hadamard on the driver is O(N·R²).
-                let f = gram_product(&grams, n)?;
-                cl.charge_driver_flops((n_modes * rank * rank) as f64)?;
-
-                // Line 10: blockwise MTTKRP over the residual.
-                let h_sparse = self.blockwise_mttkrp(&blocks, &mode_parts, &model, n, rank)?;
-
-                // Line 11: A-update.
-                let mut numer = model.factors()[n].matmul(&f)?;
-                numer.axpy(1.0, &h_sparse).map_err(crate::CoreError::from)?;
-                numer.axpy(eta, &b_aux[n]).map_err(crate::CoreError::from)?;
-                numer.axpy(1.0, &y_mul[n]).map_err(crate::CoreError::from)?;
-                let mut denom = f;
-                denom.add_diag(self.cfg.lambda + eta);
-                // The R×R factorization happens once, replicated: O(R³).
-                cl.charge_driver_flops((rank * rank * rank) as f64)?;
-                self.charge_a_update(&mode_parts[n], rank)?;
-                let mut a_new = Cholesky::factor(&denom)?.solve_right(&numer)?;
-                if self.cfg.nonneg {
-                    a_new.clamp_nonneg();
-                }
-
-                // Line 12: Y-update.
-                self.charge_rows_stage(&mode_parts[n], rank as f64, rank as u64 * F64)?;
-                let mut y_new = y_mul[n].clone();
-                y_new
-                    .axpy(eta, &b_aux[n].sub(&a_new)?)
-                    .map_err(crate::CoreError::from)?;
-                y_mul[n] = y_new;
-
-                new_factors.push(a_new);
-            }
-
-            // Jacobi swap + convergence statistic (line 15).
-            let mut delta = 0.0_f64;
-            for (n, a_new) in new_factors.into_iter().enumerate() {
-                delta = delta.max(model.factors()[n].frob_dist(&a_new)?);
-                model.set_factor(n, a_new)?;
-                grams[n] = self.partitioned_gram(&model.factors()[n], &mode_parts[n]);
-            }
-            self.charge_gram_stage(&mode_parts, rank)?;
-            self.charge_rows_stage_all(&mode_parts, rank as f64, 0)?; // delta reduce
-
-            // Line 13: refresh the residual blocks.
-            self.charge_factor_fetch(&blocks, &mode_parts, rank, None)?;
-            self.compute_residual_blocks(&mut blocks, observed, &model)?;
-
-            let sq: f64 = blocks
-                .iter()
-                .flat_map(|b| b.e_vals.iter())
-                .map(|v| v * v)
-                .sum();
-            let train_rmse = (sq / observed.nnz() as f64).sqrt();
-            trace.push(TracePoint {
-                iter: t,
-                seconds: cl.now(),
-                train_rmse,
-                factor_delta: delta,
-            });
-
-            eta = (self.cfg.rho * eta).min(self.cfg.eta_max);
-            if delta < self.cfg.tol {
-                converged = true;
-                break;
-            }
-        }
-
-        // Release resident memory (the job is done).
+        // Release resident memory (the job is done). An error above keeps
+        // it reserved — the failed job's footprint stays visible in the
+        // cluster metrics, matching the pre-refactor behavior.
         for (mach, bytes) in reserved {
             cl.release(mach, bytes);
         }
 
-        Ok(CompletionResult { model, trace, iterations, converged })
+        Ok(result)
     }
 
-    // ---- Real block-local computation ----------------------------------
-
-    /// MTTKRP of the residual against the current factors, computed
-    /// block-by-block with per-block accounting, reduced into a full
-    /// `Iₙ×R` matrix (partials combine at each factor partition's home).
-    fn blockwise_mttkrp(
-        &self,
-        blocks: &[Block],
-        mode_parts: &[ModePartition],
-        model: &KruskalTensor,
-        mode: usize,
-        rank: usize,
-    ) -> Result<Mat> {
-        let cl = self.cluster;
-        // Remote factor rows for every mode except `mode`'s own output —
-        // inputs come from all modes k ≠ mode.
-        self.charge_factor_fetch(blocks, mode_parts, rank, Some(mode))?;
-
-        let shape = model.shape();
-        // Algorithm 2's block boundaries double as the parallel work
-        // decomposition: blocks sharing a mode-`mode` partition coordinate
-        // write the same output row range, so they form one work unit
-        // (processed in ascending block order — the same order the old
-        // sequential loop used), while distinct coordinates own disjoint
-        // row ranges and run concurrently with no atomics. Bit-identical
-        // to a single sequential sweep for every `ExecMode`.
-        let part = &mode_parts[mode];
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); part.parts()];
-        for (i, b) in blocks.iter().enumerate() {
-            groups[b.coords[mode]].push(i);
-        }
-        let slabs = cl.executor().run(&groups, |p, members| {
-            let rows = part.range(p);
-            let mut slab = Mat::zeros(rows.len(), rank);
-            let mut scratch = vec![0.0; rank];
-            for &bi in members {
-                let b = &blocks[bi];
-                for (pos, (idx, _)) in b.entries.iter().enumerate() {
-                    let v = b.e_vals[pos];
-                    scratch.iter_mut().for_each(|s| *s = v);
-                    for (k, f) in model.factors().iter().enumerate() {
-                        if k == mode {
-                            continue;
-                        }
-                        let row = f.row(idx[k]);
-                        for (s, &a) in scratch.iter_mut().zip(row) {
-                            *s *= a;
-                        }
-                    }
-                    let out = slab.row_mut(idx[mode] - rows.start);
-                    for (o, &s) in out.iter_mut().zip(&scratch) {
-                        *o += s;
-                    }
-                }
-            }
-            slab
-        });
-        // Stitch the disjoint row slabs in fixed partition order.
-        let mut h = Mat::zeros(shape[mode], rank);
-        for (p, slab) in slabs.iter().enumerate() {
-            let rows = part.range(p);
-            h.as_mut_slice()[rows.start * rank..rows.end * rank]
-                .copy_from_slice(slab.as_slice());
-        }
-        let mut tasks = Vec::with_capacity(blocks.len());
-        let mut sent = vec![0u64; cl.machines()];
-        let mut received = vec![0u64; cl.machines()];
-        for b in blocks {
-            let nnz = b.entries.nnz();
-            let out_rows = b.active[mode].len() as u64;
-            tasks.push(TaskCost {
-                machine: b.machine,
-                flops: (nnz * shape.len() * rank) as f64,
-                input_bytes: nnz as u64 * (shape.len() as u64 + 2) * F64,
-                output_bytes: out_rows * rank as u64 * F64,
-            });
-            // Partial-H rows travel to the factor partition's home.
-            let dst = cl.machine_for_partition(b.coords[mode]);
-            if dst != b.machine {
-                let bytes = out_rows * rank as u64 * F64;
-                sent[b.machine] += bytes;
-                received[dst] += bytes;
-            }
-        }
-        cl.run_stage(&tasks)?;
-        cl.shuffle(&sent, &received)?;
-        // Combine stage at the partition homes.
-        self.charge_rows_stage(&mode_parts[mode], rank as f64, 0)?;
-        Ok(h)
-    }
-
-    /// `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` as the paper computes it (Eq. 13): each mode
-    /// partition contributes the partial Gram of its factor rows, and the
-    /// `R×R` partials reduce on the driver.
-    ///
-    /// The partial boundaries come from the *mode partition* — a function
-    /// of the data, never of the thread count — and the partials are
-    /// summed in ascending partition order under **every** `ExecMode`, so
-    /// the floating-point association is fixed and `Sequential` and
-    /// `Threads(n)` produce identical bits. (This association differs
-    /// from a single unblocked row sweep, which is why the serial
-    /// `AdmmSolver` oracle agrees to rounding, not to the bit.)
-    fn partitioned_gram(&self, factor: &Mat, part: &ModePartition) -> Mat {
-        let ranges: Vec<std::ops::Range<usize>> =
-            (0..part.parts()).map(|p| part.range(p)).collect();
-        let partials = self
-            .cluster
-            .executor()
-            .run(&ranges, |_, r| factor.gram_range(r.clone()));
-        let r = factor.cols();
-        let mut g = Mat::zeros(r, r);
-        for partial in &partials {
-            g.axpy(1.0, partial).expect("partial grams share the R×R shape");
-        }
-        g.mirror_upper();
-        g
-    }
-
-    /// Recompute residual values block-locally: `e = t − [[A…]](idx)`.
-    fn compute_residual_blocks(
-        &self,
-        blocks: &mut [Block],
-        observed: &CooTensor,
-        model: &KruskalTensor,
-    ) -> Result<()> {
-        let n_modes = observed.order();
-        let rank = model.rank();
-        // Residual entries are independent, so one task per block on the
-        // executor is bit-exact regardless of scheduling.
-        self.cluster.executor().run_mut(blocks, |_, b| {
-            for (pos, (idx, v)) in b.entries.iter().enumerate() {
-                b.e_vals[pos] = v - model.eval(idx);
-            }
-        });
-        let mut tasks = Vec::with_capacity(blocks.len());
-        for b in blocks.iter() {
-            let nnz = b.entries.nnz();
-            tasks.push(TaskCost {
-                machine: b.machine,
-                flops: (nnz * n_modes * rank) as f64,
-                input_bytes: nnz as u64 * (n_modes as u64 + 1) * F64,
-                output_bytes: nnz as u64 * F64,
-            });
-        }
-        self.cluster.run_stage(&tasks)?;
-        Ok(())
-    }
-
-    // ---- Accounting helpers ---------------------------------------------
+    // ---- One-off setup accounting ---------------------------------------
 
     /// A stage whose work is an even split of `records` across machines.
     fn stage_over_even_split(
@@ -464,130 +220,6 @@ impl<'c> DisTenC<'c> {
         }
         truncate_all(shape, laplacians, &self.cfg)
     }
-
-    /// A per-row stage over one mode's partitions (updates touching each
-    /// factor row once: Y-updates, combines, …).
-    fn charge_rows_stage(
-        &self,
-        part: &ModePartition,
-        flops_per_row: f64,
-        out_bytes_per_row: u64,
-    ) -> Result<()> {
-        let cl = self.cluster;
-        let tasks: Vec<TaskCost> = (0..part.parts())
-            .map(|p| {
-                let rows = part.range(p).len();
-                TaskCost {
-                    machine: cl.machine_for_partition(p),
-                    flops: rows as f64 * flops_per_row,
-                    input_bytes: rows as u64 * self.cfg.rank as u64 * F64,
-                    output_bytes: rows as u64 * out_bytes_per_row,
-                }
-            })
-            .collect();
-        cl.run_stage(&tasks)?;
-        Ok(())
-    }
-
-    /// Same, across all modes at once (convergence-delta reduction).
-    fn charge_rows_stage_all(
-        &self,
-        parts: &[ModePartition],
-        flops_per_row: f64,
-        out_bytes_per_row: u64,
-    ) -> Result<()> {
-        for part in parts {
-            self.charge_rows_stage(part, flops_per_row, out_bytes_per_row)?;
-        }
-        Ok(())
-    }
-
-    /// Gram computation for every mode: per-partition `rows·R²` flops,
-    /// `R×R` partials reduced and broadcast (Eqs. 12–13).
-    fn charge_gram_stage(&self, parts: &[ModePartition], rank: usize) -> Result<()> {
-        let cl = self.cluster;
-        let m = cl.machines();
-        let r2_bytes = (rank * rank) as u64 * F64;
-        for part in parts {
-            self.charge_rows_stage(part, (rank * rank) as f64, r2_bytes)?;
-            // Reduce partials to machine 0, broadcast the result.
-            let mut sent = vec![r2_bytes; m];
-            sent[0] = 0;
-            let mut received = vec![0u64; m];
-            received[0] = r2_bytes * (m as u64 - 1);
-            cl.shuffle(&sent, &received)?;
-            cl.broadcast_charge(r2_bytes)?;
-        }
-        Ok(())
-    }
-
-    /// The B-update of one mode (Eq. 7): local `ηA−Y`, a `K×R` projection
-    /// reduced across machines and broadcast back, then local expansion.
-    fn charge_b_update(&self, part: &ModePartition, rank: usize, k: usize) -> Result<()> {
-        let cl = self.cluster;
-        let m = cl.machines();
-        // Local work: 2·rows·R (rhs) + rows·K·R (projection) + rows·K·R
-        // (expansion).
-        let per_row = (2 * rank + 2 * k * rank) as f64;
-        self.charge_rows_stage(part, per_row, rank as u64 * F64)?;
-        if k > 0 {
-            let kr_bytes = (k * rank) as u64 * F64;
-            let mut sent = vec![kr_bytes; m];
-            sent[0] = 0;
-            let mut received = vec![0u64; m];
-            received[0] = kr_bytes * (m as u64 - 1);
-            cl.shuffle(&sent, &received)?;
-            cl.broadcast_charge(kr_bytes)?;
-        }
-        Ok(())
-    }
-
-    /// The A-update application: assembling the numerator and applying the
-    /// `R×R` inverse is `O(rows·R²)` per partition.
-    fn charge_a_update(&self, part: &ModePartition, rank: usize) -> Result<()> {
-        self.charge_rows_stage(part, (2 * rank * rank + 3 * rank) as f64, rank as u64 * F64)
-    }
-
-    /// Fetch the factor rows each block needs for modes it reads. With
-    /// `skip_output = Some(n)`, mode `n`'s rows are not inputs (they are
-    /// the stage's *output*), matching MTTKRP; with `None` every mode's
-    /// rows are fetched (residual update). Rows whose home machine already
-    /// hosts the block are free (§III-F keeps joins co-partitioned for
-    /// exactly this reason).
-    fn charge_factor_fetch(
-        &self,
-        blocks: &[Block],
-        mode_parts: &[ModePartition],
-        rank: usize,
-        skip_output: Option<usize>,
-    ) -> Result<()> {
-        let cl = self.cluster;
-        let m = cl.machines();
-        // Dedup: machine × mode × partition fetched at most once per stage.
-        let mut needed: std::collections::BTreeSet<(usize, usize, usize)> =
-            std::collections::BTreeSet::new();
-        for b in blocks {
-            for (k, &pk) in b.coords.iter().enumerate() {
-                if Some(k) == skip_output {
-                    continue;
-                }
-                let home = cl.machine_for_partition(pk);
-                if home != b.machine {
-                    needed.insert((b.machine, k, pk));
-                }
-            }
-        }
-        let mut sent = vec![0u64; m];
-        let mut received = vec![0u64; m];
-        for &(dst, k, pk) in &needed {
-            let rows = mode_parts[k].range(pk).len() as u64;
-            let bytes = rows * rank as u64 * F64;
-            sent[cl.machine_for_partition(pk)] += bytes;
-            received[dst] += bytes;
-        }
-        cl.shuffle(&sent, &received)?;
-        Ok(())
-    }
 }
 
 #[cfg(test)]
@@ -596,6 +228,7 @@ mod tests {
     use crate::admm::AdmmSolver;
     use distenc_dataflow::{ClusterConfig, DataflowError};
     use distenc_graph::builders::tridiagonal_chain;
+    use distenc_tensor::KruskalTensor;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

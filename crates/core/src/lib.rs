@@ -33,6 +33,7 @@ pub mod config;
 pub mod distenc;
 pub mod model;
 pub mod objective;
+pub(crate) mod solver;
 pub mod trace;
 
 pub use admm::AdmmSolver;

@@ -1,0 +1,390 @@
+//! The distributed [`StepBackend`]: block-local kernels plus the stage,
+//! shuffle, and broadcast accounting of Algorithm 3 on a simulated
+//! [`Cluster`].
+//!
+//! Numerically this backend runs the same [`super::mode_step`] arithmetic
+//! as the host; what it adds is (a) the block/partition decomposition of
+//! the three data-dependent kernels and (b) cluster charges at exactly
+//! the points the pre-refactor `DisTenC::solve` charged them — the
+//! charge *order* is load-bearing, because every charge advances the
+//! virtual clock and the golden distenc trace pins the resulting
+//! timestamps bit-for-bit.
+//!
+//! The accounting vectors built per stage (`TaskCost` lists, shuffle
+//! tallies, per-call reduction slabs) are bookkeeping, not step math, and
+//! are the distributed driver's documented exemption from the
+//! steady-state allocation budget.
+
+use super::{ResidualStore, StepBackend};
+use crate::Result;
+use distenc_dataflow::cluster::TaskCost;
+use distenc_dataflow::Cluster;
+use distenc_linalg::Mat;
+use distenc_partition::ModePartition;
+use distenc_tensor::KruskalTensor;
+
+const F64: u64 = 8;
+
+/// Placement and activity metadata for one tensor block, parallel to the
+/// [`super::ResidualBlock`] vector in the state's residual store.
+pub(crate) struct BlockMeta {
+    /// Machine this block is pinned to.
+    pub machine: usize,
+    /// Per-mode partition coordinates of this block.
+    pub coords: Vec<usize>,
+    /// Distinct mode-`n` indices appearing in this block (per mode) —
+    /// determines which factor rows the block needs and how large its
+    /// partial-`H` output is.
+    pub active: Vec<Vec<usize>>,
+}
+
+/// Cluster backend bound to a simulated cluster and a fixed Algorithm 2
+/// blocking.
+pub(crate) struct ClusterBackend<'c> {
+    cl: &'c Cluster,
+    rank: usize,
+    n_modes: usize,
+    mode_parts: Vec<ModePartition>,
+    meta: Vec<BlockMeta>,
+    /// Per-mode MTTKRP work groups: blocks sharing a mode-`n` partition
+    /// coordinate write the same output row range, so they form one work
+    /// unit (fixed at construction — the blocking never changes).
+    groups: Vec<Vec<Vec<usize>>>,
+    /// Per-mode partial-Gram row ranges (the mode partition's ranges).
+    gram_ranges: Vec<Vec<std::ops::Range<usize>>>,
+    /// `truncated[n].k()` per mode, for the B-update projection charge.
+    eigen_k: Vec<usize>,
+}
+
+impl<'c> ClusterBackend<'c> {
+    /// Bind the backend to `cl` with the given blocking metadata.
+    pub fn new(
+        cl: &'c Cluster,
+        rank: usize,
+        mode_parts: Vec<ModePartition>,
+        meta: Vec<BlockMeta>,
+        eigen_k: Vec<usize>,
+    ) -> Self {
+        let n_modes = mode_parts.len();
+        let groups = (0..n_modes)
+            .map(|mode| {
+                let mut g: Vec<Vec<usize>> = vec![Vec::new(); mode_parts[mode].parts()];
+                for (i, b) in meta.iter().enumerate() {
+                    g[b.coords[mode]].push(i);
+                }
+                g
+            })
+            .collect();
+        let gram_ranges = mode_parts
+            .iter()
+            .map(|part| (0..part.parts()).map(|p| part.range(p)).collect())
+            .collect();
+        ClusterBackend { cl, rank, n_modes, mode_parts, meta, groups, gram_ranges, eigen_k }
+    }
+
+    // ---- Accounting helpers ---------------------------------------------
+
+    /// A per-row stage over one mode's partitions (updates touching each
+    /// factor row once: Y-updates, combines, …).
+    fn charge_rows_stage(
+        &self,
+        part: &ModePartition,
+        flops_per_row: f64,
+        out_bytes_per_row: u64,
+    ) -> Result<()> {
+        let cl = self.cl;
+        let tasks: Vec<TaskCost> = (0..part.parts())
+            .map(|p| {
+                let rows = part.range(p).len();
+                TaskCost {
+                    machine: cl.machine_for_partition(p),
+                    flops: rows as f64 * flops_per_row,
+                    input_bytes: rows as u64 * self.rank as u64 * F64,
+                    output_bytes: rows as u64 * out_bytes_per_row,
+                }
+            })
+            .collect();
+        cl.run_stage(&tasks)?;
+        Ok(())
+    }
+
+    /// Same, across all modes at once (convergence-delta reduction).
+    fn charge_rows_stage_all(&self, flops_per_row: f64, out_bytes_per_row: u64) -> Result<()> {
+        for part in &self.mode_parts {
+            self.charge_rows_stage(part, flops_per_row, out_bytes_per_row)?;
+        }
+        Ok(())
+    }
+
+    /// Gram computation for every mode: per-partition `rows·R²` flops,
+    /// `R×R` partials reduced and broadcast (Eqs. 12–13).
+    fn charge_gram_stage(&self) -> Result<()> {
+        let cl = self.cl;
+        let m = cl.machines();
+        let rank = self.rank;
+        let r2_bytes = (rank * rank) as u64 * F64;
+        for part in &self.mode_parts {
+            self.charge_rows_stage(part, (rank * rank) as f64, r2_bytes)?;
+            // Reduce partials to machine 0, broadcast the result.
+            let mut sent = vec![r2_bytes; m];
+            sent[0] = 0;
+            let mut received = vec![0u64; m];
+            received[0] = r2_bytes * (m as u64 - 1);
+            cl.shuffle(&sent, &received)?;
+            cl.broadcast_charge(r2_bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch the factor rows each block needs for modes it reads. With
+    /// `skip_output = Some(n)`, mode `n`'s rows are not inputs (they are
+    /// the stage's *output*), matching MTTKRP; with `None` every mode's
+    /// rows are fetched (residual update). Rows whose home machine already
+    /// hosts the block are free (§III-F keeps joins co-partitioned for
+    /// exactly this reason).
+    fn charge_factor_fetch(&self, skip_output: Option<usize>) -> Result<()> {
+        let cl = self.cl;
+        let m = cl.machines();
+        // Dedup: machine × mode × partition fetched at most once per stage.
+        let mut needed: std::collections::BTreeSet<(usize, usize, usize)> =
+            std::collections::BTreeSet::new();
+        for b in &self.meta {
+            for (k, &pk) in b.coords.iter().enumerate() {
+                if Some(k) == skip_output {
+                    continue;
+                }
+                let home = cl.machine_for_partition(pk);
+                if home != b.machine {
+                    needed.insert((b.machine, k, pk));
+                }
+            }
+        }
+        let mut sent = vec![0u64; m];
+        let mut received = vec![0u64; m];
+        for &(dst, k, pk) in &needed {
+            let rows = self.mode_parts[k].range(pk).len() as u64;
+            let bytes = rows * self.rank as u64 * F64;
+            sent[cl.machine_for_partition(pk)] += bytes;
+            received[dst] += bytes;
+        }
+        cl.shuffle(&sent, &received)?;
+        Ok(())
+    }
+}
+
+impl StepBackend for ClusterBackend<'_> {
+    /// MTTKRP of the residual against the current factors, computed
+    /// block-by-block with per-block accounting, reduced into a full
+    /// `Iₙ×R` matrix (partials combine at each factor partition's home).
+    fn sparse_mttkrp(
+        &mut self,
+        residual: &ResidualStore,
+        model: &KruskalTensor,
+        mode: usize,
+        out: &mut Mat,
+    ) -> Result<()> {
+        let ResidualStore::Blocked { blocks } = residual else {
+            return Err(crate::CoreError::Invalid(
+                "cluster backend requires a blocked residual".into(),
+            ));
+        };
+        let cl = self.cl;
+        let rank = self.rank;
+        // Remote factor rows for every mode except `mode`'s own output —
+        // inputs come from all modes k ≠ mode.
+        self.charge_factor_fetch(Some(mode))?;
+
+        let shape = model.shape();
+        // Algorithm 2's block boundaries double as the parallel work
+        // decomposition: blocks sharing a mode-`mode` partition coordinate
+        // write the same output row range, so they form one work unit
+        // (processed in ascending block order — the same order the old
+        // sequential loop used), while distinct coordinates own disjoint
+        // row ranges and run concurrently with no atomics. Bit-identical
+        // to a single sequential sweep for every `ExecMode`.
+        let part = &self.mode_parts[mode];
+        let slabs = cl.executor().run(&self.groups[mode], |p, members| {
+            let rows = part.range(p);
+            let mut slab = Mat::zeros(rows.len(), rank);
+            let mut scratch = vec![0.0; rank];
+            for &bi in members {
+                let b = &blocks[bi];
+                for (pos, (idx, _)) in b.entries.iter().enumerate() {
+                    let v = b.vals[pos];
+                    scratch.iter_mut().for_each(|s| *s = v);
+                    for (k, f) in model.factors().iter().enumerate() {
+                        if k == mode {
+                            continue;
+                        }
+                        let row = f.row(idx[k]);
+                        for (s, &a) in scratch.iter_mut().zip(row) {
+                            *s *= a;
+                        }
+                    }
+                    let o = slab.row_mut(idx[mode] - rows.start);
+                    for (o, &s) in o.iter_mut().zip(&scratch) {
+                        *o += s;
+                    }
+                }
+            }
+            slab
+        });
+        // Stitch the disjoint row slabs in fixed partition order; the
+        // ranges cover every output row, so no pre-zeroing is needed.
+        for (p, slab) in slabs.iter().enumerate() {
+            let rows = part.range(p);
+            out.as_mut_slice()[rows.start * rank..rows.end * rank]
+                .copy_from_slice(slab.as_slice());
+        }
+        let mut tasks = Vec::with_capacity(blocks.len());
+        let mut sent = vec![0u64; cl.machines()];
+        let mut received = vec![0u64; cl.machines()];
+        for (b, m) in blocks.iter().zip(&self.meta) {
+            let nnz = b.entries.nnz();
+            let out_rows = m.active[mode].len() as u64;
+            tasks.push(TaskCost {
+                machine: m.machine,
+                flops: (nnz * shape.len() * rank) as f64,
+                input_bytes: nnz as u64 * (shape.len() as u64 + 2) * F64,
+                output_bytes: out_rows * rank as u64 * F64,
+            });
+            // Partial-H rows travel to the factor partition's home.
+            let dst = cl.machine_for_partition(m.coords[mode]);
+            if dst != m.machine {
+                let bytes = out_rows * rank as u64 * F64;
+                sent[m.machine] += bytes;
+                received[dst] += bytes;
+            }
+        }
+        cl.run_stage(&tasks)?;
+        cl.shuffle(&sent, &received)?;
+        // Combine stage at the partition homes.
+        self.charge_rows_stage(&self.mode_parts[mode], rank as f64, 0)?;
+        Ok(())
+    }
+
+    /// `A⁽ⁿ⁾ᵀA⁽ⁿ⁾` as the paper computes it (Eq. 13): each mode
+    /// partition contributes the partial Gram of its factor rows, and the
+    /// `R×R` partials reduce on the driver.
+    ///
+    /// The partial boundaries come from the *mode partition* — a function
+    /// of the data, never of the thread count — and the partials are
+    /// summed in ascending partition order under **every** `ExecMode`, so
+    /// the floating-point association is fixed and `Sequential` and
+    /// `Threads(n)` produce identical bits. (This association differs
+    /// from a single unblocked row sweep, which is why the serial
+    /// `AdmmSolver` oracle agrees to rounding, not to the bit.)
+    fn refresh_gram(&mut self, factor: &Mat, mode: usize, out: &mut Mat) -> Result<()> {
+        let partials = self
+            .cl
+            .executor()
+            .run(&self.gram_ranges[mode], |_, r| factor.gram_range(r.clone()));
+        out.fill(0.0);
+        for partial in &partials {
+            out.axpy(1.0, partial).expect("partial grams share the R×R shape");
+        }
+        out.mirror_upper();
+        Ok(())
+    }
+
+    /// Recompute residual values block-locally: `e = t − [[A…]](idx)`.
+    fn refresh_residual(
+        &mut self,
+        _observed: &distenc_tensor::CooTensor,
+        model: &KruskalTensor,
+        residual: &mut ResidualStore,
+    ) -> Result<()> {
+        let ResidualStore::Blocked { blocks } = residual else {
+            return Err(crate::CoreError::Invalid(
+                "cluster backend requires a blocked residual".into(),
+            ));
+        };
+        // This stage reads every mode's factor rows at each block.
+        self.charge_factor_fetch(None)?;
+        let n_modes = self.n_modes;
+        let rank = self.rank;
+        // Residual entries are independent, so one task per block on the
+        // executor is bit-exact regardless of scheduling.
+        self.cl.executor().run_mut(blocks, |_, b| {
+            for (pos, (idx, v)) in b.entries.iter().enumerate() {
+                b.vals[pos] = v - model.eval(idx);
+            }
+        });
+        let mut tasks = Vec::with_capacity(blocks.len());
+        for (b, m) in blocks.iter().zip(&self.meta) {
+            let nnz = b.entries.nnz();
+            tasks.push(TaskCost {
+                machine: m.machine,
+                flops: (nnz * n_modes * rank) as f64,
+                input_bytes: nnz as u64 * (n_modes as u64 + 1) * F64,
+                output_bytes: nnz as u64 * F64,
+            });
+        }
+        self.cl.run_stage(&tasks)?;
+        Ok(())
+    }
+
+    fn clock(&self, _iter: usize) -> f64 {
+        self.cl.now()
+    }
+
+    /// Line 8 (Eq. 7): local `ηA−Y`, a `K×R` projection reduced across
+    /// machines and broadcast back, then local expansion.
+    fn on_b_update(&mut self, mode: usize) -> Result<()> {
+        let cl = self.cl;
+        let m = cl.machines();
+        let rank = self.rank;
+        let k = self.eigen_k[mode];
+        // Local work: 2·rows·R (rhs) + rows·K·R (projection) + rows·K·R
+        // (expansion).
+        let per_row = (2 * rank + 2 * k * rank) as f64;
+        self.charge_rows_stage(&self.mode_parts[mode], per_row, rank as u64 * F64)?;
+        if k > 0 {
+            let kr_bytes = (k * rank) as u64 * F64;
+            let mut sent = vec![kr_bytes; m];
+            sent[0] = 0;
+            let mut received = vec![0u64; m];
+            received[0] = kr_bytes * (m as u64 - 1);
+            cl.shuffle(&sent, &received)?;
+            cl.broadcast_charge(kr_bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Line 9: the Hadamard product on the driver is O(N·R²).
+    fn on_gram_product(&mut self) -> Result<()> {
+        self.cl
+            .charge_driver_flops((self.n_modes * self.rank * self.rank) as f64)?;
+        Ok(())
+    }
+
+    /// Line 11: the `R×R` factorization happens once, replicated (O(R³));
+    /// assembling the numerator and applying the inverse is `O(rows·R²)`
+    /// per partition.
+    fn on_a_update(&mut self, mode: usize) -> Result<()> {
+        let rank = self.rank;
+        self.cl.charge_driver_flops((rank * rank * rank) as f64)?;
+        self.charge_rows_stage(
+            &self.mode_parts[mode],
+            (2 * rank * rank + 3 * rank) as f64,
+            rank as u64 * F64,
+        )
+    }
+
+    /// Line 12: per-row Y write-back.
+    fn on_y_update(&mut self, mode: usize) -> Result<()> {
+        self.charge_rows_stage(
+            &self.mode_parts[mode],
+            self.rank as f64,
+            self.rank as u64 * F64,
+        )
+    }
+
+    fn on_grams_refreshed(&mut self) -> Result<()> {
+        self.charge_gram_stage()
+    }
+
+    fn on_delta_reduced(&mut self) -> Result<()> {
+        self.charge_rows_stage_all(self.rank as f64, 0)
+    }
+}

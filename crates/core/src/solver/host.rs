@@ -1,0 +1,97 @@
+//! The single-machine [`StepBackend`]: thread-blocked kernels on a
+//! [`distenc_dataflow::Executor`], no accounting.
+//!
+//! Every kernel workspace is sized once at construction and reused every
+//! iteration, so the steady state allocates nothing on the calling
+//! thread (the threaded executor boxes O(parts) jobs per dispatch; the
+//! sequential path is a plain loop).
+
+use super::{ResidualStore, StepBackend};
+use crate::Result;
+use distenc_dataflow::Executor;
+use distenc_linalg::Mat;
+use distenc_tensor::mttkrp::{mttkrp_blocked_into, MttkrpWorkspace};
+use distenc_tensor::residual::{residual_refresh_exec, ResidualWorkspace};
+use distenc_tensor::{CooTensor, KruskalTensor};
+
+/// Host backend: Algorithm 2 greedy thread blocking for the MTTKRP,
+/// even-chunked residual refresh, plain Grams, wall-clock trace stamps.
+pub(crate) struct HostBackend<C> {
+    exec: Executor,
+    /// One bucketed workspace per mode (unused rows on the CSF path, but
+    /// cheap: the buckets are indices into the fixed support).
+    mtt: Vec<MttkrpWorkspace>,
+    res: ResidualWorkspace,
+    clock: C,
+}
+
+impl<C: Fn(usize) -> f64> HostBackend<C> {
+    /// Bucket `observed` for every mode over `boundaries` at rank `rank`,
+    /// chunk the residual refresh for `exec`, and stamp trace points with
+    /// `clock`.
+    pub fn new(
+        observed: &CooTensor,
+        boundaries: &[Vec<usize>],
+        rank: usize,
+        exec: Executor,
+        clock: C,
+    ) -> Result<Self> {
+        let mtt = (0..observed.order())
+            .map(|n| MttkrpWorkspace::new(observed, n, &boundaries[n], rank))
+            .collect::<distenc_tensor::Result<Vec<_>>>()?;
+        let res = ResidualWorkspace::new(observed.nnz(), &exec);
+        Ok(HostBackend { exec, mtt, res, clock })
+    }
+}
+
+impl<C: Fn(usize) -> f64> StepBackend for HostBackend<C> {
+    fn sparse_mttkrp(
+        &mut self,
+        residual: &ResidualStore,
+        model: &KruskalTensor,
+        mode: usize,
+        out: &mut Mat,
+    ) -> Result<()> {
+        let ResidualStore::Coo { e, csf } = residual else {
+            return Err(crate::CoreError::Invalid(
+                "host backend requires a COO residual".into(),
+            ));
+        };
+        if csf.is_empty() {
+            mttkrp_blocked_into(e, model.factors(), &mut self.mtt[mode], &self.exec, out)?;
+        } else {
+            // §III-C's fiber layout: the tree walk shares partial Hadamard
+            // products across fibers. Same zero-then-accumulate contract
+            // as the blocked kernel.
+            csf[mode].mttkrp_root_into(model.factors(), out)?;
+        }
+        Ok(())
+    }
+
+    fn refresh_gram(&mut self, factor: &Mat, _mode: usize, out: &mut Mat) -> Result<()> {
+        factor.gram_into(out)?;
+        Ok(())
+    }
+
+    fn refresh_residual(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        residual: &mut ResidualStore,
+    ) -> Result<()> {
+        let ResidualStore::Coo { e, csf } = residual else {
+            return Err(crate::CoreError::Invalid(
+                "host backend requires a COO residual".into(),
+            ));
+        };
+        residual_refresh_exec(observed, model, e, &mut self.res, &self.exec)?;
+        for c in csf.iter_mut() {
+            c.set_values(e)?;
+        }
+        Ok(())
+    }
+
+    fn clock(&self, iter: usize) -> f64 {
+        (self.clock)(iter)
+    }
+}

@@ -27,10 +27,20 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
 pub mod cluster;
 pub mod config;
 pub mod dist;
 pub mod exec;
+
+/// With `alloc-count` enabled, every crate in the workspace that links
+/// this one gets the counting allocator installed process-wide, so the
+/// allocation-budget test and `benches/solver_core.rs` can observe the
+/// solver's heap traffic without instrumenting call sites.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static COUNTING_ALLOCATOR: alloc::CountingAllocator = alloc::CountingAllocator;
 
 pub use cluster::{Cluster, Metrics};
 pub use config::{ClusterConfig, CostModel, Platform};

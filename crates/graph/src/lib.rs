@@ -23,5 +23,5 @@ pub mod builders;
 pub mod laplacian;
 pub mod sparse;
 
-pub use laplacian::{Laplacian, TruncatedLaplacian};
+pub use laplacian::{Laplacian, ShiftedInverseScratch, TruncatedLaplacian};
 pub use sparse::SparseSym;

@@ -48,6 +48,44 @@ impl Cholesky {
         Ok(Cholesky { l })
     }
 
+    /// Re-factor a new matrix of the same dimension into this
+    /// factorization's existing buffer, bit-identical to
+    /// [`Cholesky::factor`] with no allocation.
+    ///
+    /// The algorithm only ever writes the lower triangle (each entry
+    /// exactly once, reading only entries written earlier in the same
+    /// pass) and the upper triangle is zero from construction, so reusing
+    /// the buffer cannot leak state between factorizations. On a
+    /// `NotPositiveDefinite` error the factor is left partially
+    /// overwritten and must not be used for solves.
+    pub fn refactor(&mut self, a: &Mat) -> Result<()> {
+        let n = self.dim();
+        if a.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky refactor",
+                lhs: (n, n),
+                rhs: a.shape(),
+            });
+        }
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= self.l.get(i, k) * self.l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i, value: sum });
+                    }
+                    self.l.set(i, j, sum.sqrt());
+                } else {
+                    self.l.set(i, j, sum / self.l.get(j, j));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.rows()
@@ -132,6 +170,24 @@ impl Cholesky {
         Ok(out)
     }
 
+    /// Solve `X A = B` into a caller-owned buffer, bit-identical to
+    /// [`Cholesky::solve_right`] (copy `B`, then solve each row in place).
+    pub fn solve_right_into(&self, b: &Mat, out: &mut Mat) -> Result<()> {
+        let n = self.dim();
+        if b.cols() != n || out.shape() != b.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_right_into",
+                lhs: b.shape(),
+                rhs: out.shape(),
+            });
+        }
+        out.copy_from(b)?;
+        for i in 0..out.rows() {
+            self.solve_vec_in_place(out.row_mut(i))?;
+        }
+        Ok(())
+    }
+
     /// Explicit inverse `A⁻¹` (used only where the algorithm genuinely
     /// caches an inverse; prefer the `solve_*` methods).
     pub fn inverse(&self) -> Result<Mat> {
@@ -205,6 +261,31 @@ mod tests {
         for (u, v) in prod.as_slice().iter().zip(eye.as_slice()) {
             assert!((u - v).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn refactor_and_solve_right_into_are_bit_identical() {
+        let a1 = spd(5, 3);
+        let a2 = spd(5, 44);
+        let b = Mat::random(9, 5, 8);
+
+        // Start from an unrelated factorization and refactor twice: the
+        // buffer reuse must leave no trace of the previous matrix.
+        let mut ch = Cholesky::factor(&a1).unwrap();
+        ch.refactor(&a2).unwrap();
+        assert_eq!(ch.l(), Cholesky::factor(&a2).unwrap().l());
+        ch.refactor(&a1).unwrap();
+        assert_eq!(ch.l(), Cholesky::factor(&a1).unwrap().l());
+
+        let mut out = Mat::random(9, 5, 100); // dirty on purpose
+        ch.solve_right_into(&b, &mut out).unwrap();
+        assert_eq!(out, ch.solve_right(&b).unwrap());
+    }
+
+    #[test]
+    fn refactor_rejects_dimension_change() {
+        let mut ch = Cholesky::factor(&spd(4, 1)).unwrap();
+        assert!(ch.refactor(&spd(5, 2)).is_err());
     }
 
     #[test]

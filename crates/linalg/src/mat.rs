@@ -426,6 +426,132 @@ impl Mat {
         }
         out
     }
+
+    // ----- in-place variants ------------------------------------------------
+    //
+    // The solver core preallocates every buffer once and runs its steady
+    // state through these `_into` methods. Each is the exact loop of its
+    // allocating counterpart with the output buffer supplied by the
+    // caller, so results are bit-identical — asserted with `assert_eq!`
+    // (not tolerances) in the tests below.
+
+    /// Set every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Overwrite `self` with the entries of `src` (shapes must match).
+    pub fn copy_from(&mut self, src: &Mat) -> Result<()> {
+        if self.shape() != src.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "copy_from",
+                lhs: self.shape(),
+                rhs: src.shape(),
+            });
+        }
+        self.data.copy_from_slice(&src.data);
+        Ok(())
+    }
+
+    /// `out = self * alpha`, bit-identical to [`Mat::scaled`].
+    pub fn scaled_into(&self, alpha: f64, out: &mut Mat) -> Result<()> {
+        if self.shape() != out.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "scaled_into",
+                lhs: self.shape(),
+                rhs: out.shape(),
+            });
+        }
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = a * alpha;
+        }
+        Ok(())
+    }
+
+    /// `out = self - rhs`, bit-identical to [`Mat::sub`] (which is a clone
+    /// followed by `axpy(-1.0, rhs)`, i.e. `a + (-1.0) * b` per entry).
+    // Keep the literal `a + (-1.0) * b` so the bit-identity with `axpy` is
+    // visible in the source, not an IEEE-754 argument in a comment.
+    #[allow(clippy::neg_multiply)]
+    pub fn sub_into(&self, rhs: &Mat, out: &mut Mat) -> Result<()> {
+        if self.shape() != rhs.shape() || self.shape() != out.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a + (-1.0) * b;
+        }
+        Ok(())
+    }
+
+    /// `out = self * rhs`, bit-identical to [`Mat::matmul`]. The output is
+    /// zeroed first: the product accumulates into it with the same i-k-j
+    /// loop (including the `a_ik == 0.0` skip).
+    pub fn matmul_into(&self, rhs: &Mat, out: &mut Mat) -> Result<()> {
+        if self.cols != rhs.rows || out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a_ik) in a_row.iter().enumerate() {
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ik * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `out = selfᵀ * self`, bit-identical to [`Mat::gram`].
+    pub fn gram_into(&self, out: &mut Mat) -> Result<()> {
+        self.gram_range_into(0..self.rows, out)?;
+        out.mirror_upper();
+        Ok(())
+    }
+
+    /// Partial Gram into a caller-owned buffer, bit-identical to
+    /// [`Mat::gram_range`] (upper triangle only; the buffer is zeroed
+    /// first, including its lower triangle).
+    pub fn gram_range_into(&self, rows: std::ops::Range<usize>, out: &mut Mat) -> Result<()> {
+        let r = self.cols;
+        if out.shape() != (r, r) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gram_range_into",
+                lhs: (r, r),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        let lo = rows.start.min(self.rows);
+        let hi = rows.end.min(self.rows);
+        for i in lo..hi {
+            let row = &self.data[i * r..(i + 1) * r];
+            for j in 0..r {
+                let v = row[j];
+                if v == 0.0 {
+                    continue;
+                }
+                let g_row = &mut out.data[j * r..(j + 1) * r];
+                for (k, &w) in row.iter().enumerate().skip(j) {
+                    g_row[k] += v * w;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +690,53 @@ mod tests {
         sum.mirror_upper();
         let full = a.gram();
         assert!(sum.frob_dist(&full).unwrap() < 1e-12 * full.frob_norm().max(1.0));
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_ones() {
+        // `assert_eq!` on `Mat` compares every f64 exactly: the `_into`
+        // kernels must reproduce the allocating results bit for bit.
+        let a = Mat::random(7, 5, 3);
+        let b = Mat::random(7, 5, 4);
+        let sq = Mat::random(5, 5, 6);
+
+        let mut out = Mat::zeros(7, 5);
+        a.scaled_into(1.7, &mut out).unwrap();
+        assert_eq!(out, a.scaled(1.7));
+
+        a.sub_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.sub(&b).unwrap());
+
+        a.matmul_into(&sq, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&sq).unwrap());
+        // Repeat into a dirty buffer: the zeroing must erase stale state.
+        a.matmul_into(&sq, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&sq).unwrap());
+
+        let mut g = Mat::random(5, 5, 9); // dirty on purpose
+        a.gram_into(&mut g).unwrap();
+        assert_eq!(g, a.gram());
+
+        a.gram_range_into(2..6, &mut g).unwrap();
+        assert_eq!(g, a.gram_range(2..6));
+
+        let mut c = Mat::zeros(7, 5);
+        c.copy_from(&a).unwrap();
+        assert_eq!(c, a);
+        c.fill(3.25);
+        assert_eq!(c, Mat::from_vec(7, 5, vec![3.25; 35]));
+    }
+
+    #[test]
+    fn into_variants_reject_shape_mismatches() {
+        let a = Mat::random(4, 3, 1);
+        let mut wrong = Mat::zeros(3, 3);
+        assert!(a.scaled_into(2.0, &mut wrong).is_err());
+        assert!(a.sub_into(&a, &mut wrong).is_err());
+        assert!(a.matmul_into(&Mat::zeros(3, 2), &mut wrong).is_err());
+        assert!(a.gram_into(&mut Mat::zeros(4, 4)).is_err());
+        assert!(a.gram_range_into(0..4, &mut Mat::zeros(2, 2)).is_err());
+        assert!(wrong.copy_from(&a).is_err());
     }
 
     #[test]

@@ -17,18 +17,38 @@ pub struct CooTensor {
 impl CooTensor {
     /// An empty tensor with the given shape.
     ///
+    /// Convenience wrapper over [`CooTensor::try_new`] for shapes known
+    /// to be well-formed (literals, shapes copied from an existing
+    /// tensor). Library code handling *external* shapes — parsed files,
+    /// user configuration — should call `try_new` and propagate the
+    /// error.
+    ///
     /// # Panics
     /// Panics if `shape` is empty or has a zero dimension.
     pub fn new(shape: Vec<usize>) -> Self {
-        assert!(!shape.is_empty(), "tensor order must be ≥ 1");
-        assert!(shape.iter().all(|&d| d > 0), "dimensions must be positive");
-        CooTensor { shape, indices: Vec::new(), values: Vec::new() }
+        match Self::try_new(shape) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// An empty tensor with the given shape, rejecting malformed shapes
+    /// (empty, or any zero dimension) with
+    /// [`TensorError::InvalidShape`].
+    pub fn try_new(shape: Vec<usize>) -> Result<Self> {
+        if shape.is_empty() {
+            return Err(TensorError::InvalidShape { shape, reason: "tensor order must be ≥ 1" });
+        }
+        if shape.contains(&0) {
+            return Err(TensorError::InvalidShape { shape, reason: "dimensions must be positive" });
+        }
+        Ok(CooTensor { shape, indices: Vec::new(), values: Vec::new() })
     }
 
     /// Build from parallel `(index tuple, value)` entries, validating
     /// bounds.
     pub fn from_entries(shape: Vec<usize>, entries: &[(&[usize], f64)]) -> Result<Self> {
-        let mut t = CooTensor::new(shape);
+        let mut t = CooTensor::try_new(shape)?;
         t.reserve(entries.len());
         for (idx, v) in entries {
             t.push(idx, *v)?;
@@ -235,6 +255,19 @@ mod tests {
         assert_eq!(t.nnz(), 4);
         assert_eq!(t.index(1), &[1, 2, 1]);
         assert_eq!(t.value(2), 3.0);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_shapes() {
+        assert!(matches!(
+            CooTensor::try_new(vec![]),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        assert!(matches!(
+            CooTensor::try_new(vec![3, 0, 2]),
+            Err(TensorError::InvalidShape { .. })
+        ));
+        assert_eq!(CooTensor::try_new(vec![3, 2]).unwrap().shape(), &[3, 2]);
     }
 
     #[test]

@@ -169,6 +169,19 @@ impl CsfTensor {
     /// factorized over the tree so partial Hadamard products are shared
     /// across each fiber (the flop saving of the CSF layout).
     pub fn mttkrp_root(&self, factors: &[Mat]) -> Result<Mat> {
+        let rank = factors.first().map_or(0, |f| f.cols());
+        let mut h = Mat::zeros(self.shape[self.root_mode()], rank);
+        self.mttkrp_root_into(factors, &mut h)?;
+        Ok(h)
+    }
+
+    /// [`CsfTensor::mttkrp_root`] into a caller-owned buffer (zeroed
+    /// first; same traversal, bit-identical). Only the *output* is
+    /// reused: the tree walk still allocates its per-level accumulators,
+    /// which is the CSF path's documented exemption from the solver
+    /// core's allocation budget (recursion depth × `O(R)`, independent of
+    /// nnz).
+    pub fn mttkrp_root_into(&self, factors: &[Mat], h: &mut Mat) -> Result<()> {
         if factors.len() != self.order() {
             return Err(TensorError::ShapeMismatch("one factor per mode".into()));
         }
@@ -179,7 +192,14 @@ impl CsfTensor {
             }
         }
         let root = self.root_mode();
-        let mut h = Mat::zeros(self.shape[root], rank);
+        if h.shape() != (self.shape[root], rank) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mttkrp output is {:?}, want ({}, {rank})",
+                h.shape(),
+                self.shape[root]
+            )));
+        }
+        h.fill(0.0);
         let mut scratch = vec![0.0; rank];
         for (node, _) in self.levels[0].ids.iter().enumerate() {
             scratch.iter_mut().for_each(|s| *s = 0.0);
@@ -189,7 +209,7 @@ impl CsfTensor {
                 *o += s;
             }
         }
-        Ok(h)
+        Ok(())
     }
 
     /// Accumulate `Σ_{leaves under node} v · ⊛_{levels below} A(row)` into

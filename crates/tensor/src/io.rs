@@ -41,7 +41,7 @@ pub fn read_coo<R: Read>(r: R) -> Result<CooTensor> {
         .map_err(|e| TensorError::ShapeMismatch(format!("io error: {e}")))?;
     let shape = parse_header(&header)?;
     let order = shape.len();
-    let mut t = CooTensor::new(shape);
+    let mut t = CooTensor::try_new(shape)?;
     let mut idx = vec![0usize; order];
     for line in lines {
         let line = line.map_err(|e| TensorError::ShapeMismatch(format!("io error: {e}")))?;

@@ -52,6 +52,13 @@ pub enum TensorError {
     },
     /// Operand orders/shapes are incompatible.
     ShapeMismatch(String),
+    /// A tensor shape itself is malformed (empty, or a zero dimension).
+    InvalidShape {
+        /// The rejected shape.
+        shape: Vec<usize>,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
     /// Wrapped linear-algebra failure.
     Linalg(distenc_linalg::LinalgError),
 }
@@ -63,6 +70,9 @@ impl std::fmt::Display for TensorError {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }
             TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::InvalidShape { shape, reason } => {
+                write!(f, "invalid tensor shape {shape:?}: {reason}")
+            }
             TensorError::Linalg(e) => write!(f, "linalg error: {e}"),
         }
     }

@@ -123,13 +123,159 @@ pub fn gram_product(grams: &[Mat], mode: usize) -> Result<Mat> {
     }
     let r = grams[0].rows();
     let mut acc = Mat::from_vec(r, r, vec![1.0; r * r]);
+    gram_product_into(grams, mode, &mut acc)?;
+    Ok(acc)
+}
+
+/// Allocation-free [`gram_product`]: `out` is set to all-ones, then each
+/// non-`mode` Gram is Hadamard-multiplied in, in the same ascending-`k`
+/// order — elementwise products in an identical sequence, so the result
+/// is bit-identical.
+pub fn gram_product_into(grams: &[Mat], mode: usize, out: &mut Mat) -> Result<()> {
+    if grams.is_empty() {
+        return Err(TensorError::ShapeMismatch("no gram matrices".into()));
+    }
+    let r = grams[0].rows();
+    if out.shape() != (r, r) {
+        return Err(TensorError::ShapeMismatch(format!(
+            "gram product output is {:?}, want ({r}, {r})",
+            out.shape()
+        )));
+    }
+    out.fill(1.0);
     for (k, g) in grams.iter().enumerate() {
         if k == mode {
             continue;
         }
-        acc = acc.hadamard(g)?;
+        if g.shape() != (r, r) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "gram {k} is {:?}, want ({r}, {r})",
+                g.shape()
+            )));
+        }
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(g.as_slice()) {
+            *o *= v;
+        }
     }
-    Ok(acc)
+    Ok(())
+}
+
+/// Reusable per-mode state for [`mttkrp_blocked_into`]: the entry buckets
+/// (fixed once the tensor's support and the Algorithm-2 boundaries are
+/// fixed), one accumulation slab per part, and one `R`-vector scratch per
+/// part so a steady-state call allocates nothing.
+///
+/// The workspace is bound to the `(support, mode, boundaries, rank)` it
+/// was built for; using it with a tensor whose entry positions differ
+/// from the construction-time tensor is a logic error (debug-asserted).
+pub struct MttkrpWorkspace {
+    mode: usize,
+    nnz: usize,
+    parts: Vec<MttkrpPart>,
+}
+
+struct MttkrpPart {
+    bucket: Vec<usize>,
+    lo: usize,
+    slab: Mat,
+    scratch: Vec<f64>,
+}
+
+impl MttkrpWorkspace {
+    /// Bucket `x`'s entries for a mode-`mode` blocked MTTKRP at rank `r`.
+    /// Same validation and forward-scan bucketing as [`mttkrp_blocked`].
+    pub fn new(x: &CooTensor, mode: usize, boundaries: &[usize], r: usize) -> Result<Self> {
+        if mode >= x.order() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mode {mode} out of range for order {}",
+                x.order()
+            )));
+        }
+        let dim = x.shape()[mode];
+        let ok = boundaries.last() == Some(&dim)
+            && boundaries.windows(2).all(|w| w[0] <= w[1]);
+        if !ok {
+            return Err(TensorError::ShapeMismatch(format!(
+                "boundaries {boundaries:?} do not cover mode-{mode} rows 0..{dim}"
+            )));
+        }
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); boundaries.len()];
+        for pos in 0..x.nnz() {
+            let i = x.index(pos)[mode];
+            let part = boundaries.partition_point(|&b| b <= i);
+            buckets[part].push(pos);
+        }
+        let starts: Vec<usize> =
+            std::iter::once(0).chain(boundaries.iter().copied()).collect();
+        let parts = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(p, bucket)| MttkrpPart {
+                bucket,
+                lo: starts[p],
+                slab: Mat::zeros(boundaries[p] - starts[p], r),
+                scratch: vec![0.0; r],
+            })
+            .collect();
+        Ok(MttkrpWorkspace { mode, nnz: x.nnz(), parts })
+    }
+
+    /// The mode this workspace was bucketed for.
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+}
+
+/// [`mttkrp_blocked`] writing into a caller-owned `h` through a
+/// preallocated [`MttkrpWorkspace`] — per-part slabs are zeroed and
+/// refilled with the exact accumulation loop of the allocating version,
+/// then stitched into `h` in fixed part order, so the result is
+/// bit-identical and the steady state allocates nothing (the threaded
+/// executor boxes one job per part; the sequential one is a plain loop).
+pub fn mttkrp_blocked_into(
+    x: &CooTensor,
+    factors: &[Mat],
+    ws: &mut MttkrpWorkspace,
+    exec: &Executor,
+    h: &mut Mat,
+) -> Result<()> {
+    validate(x, factors, ws.mode)?;
+    debug_assert_eq!(x.nnz(), ws.nnz, "workspace built for a different support");
+    let mode = ws.mode;
+    let r = factors[0].cols();
+    let dim = x.shape()[mode];
+    if h.shape() != (dim, r) || ws.parts.first().is_some_and(|p| p.slab.cols() != r) {
+        return Err(TensorError::ShapeMismatch(format!(
+            "mttkrp output is {:?}, want ({dim}, {r})",
+            h.shape()
+        )));
+    }
+    exec.run_mut(&mut ws.parts, |_, part| {
+        part.slab.fill(0.0);
+        for &pos in &part.bucket {
+            let idx = x.index(pos);
+            let v = x.value(pos);
+            part.scratch.iter_mut().for_each(|s| *s = v);
+            for (k, f) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                let row = f.row(idx[k]);
+                for (s, &a) in part.scratch.iter_mut().zip(row) {
+                    *s *= a;
+                }
+            }
+            let out = part.slab.row_mut(idx[mode] - part.lo);
+            for (o, &s) in out.iter_mut().zip(&part.scratch) {
+                *o += s;
+            }
+        }
+    });
+    for part in &ws.parts {
+        h.as_mut_slice()[part.lo * r..(part.lo + part.slab.rows()) * r]
+            .copy_from_slice(part.slab.as_slice());
+    }
+    Ok(())
 }
 
 fn validate(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<()> {
@@ -247,6 +393,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mttkrp_blocked_into_reuses_workspace_bit_exactly() {
+        use distenc_dataflow::{ExecMode, Executor};
+        let shape = [13, 7, 5];
+        let x = random_coo(&shape, 150, 4);
+        let rank = 3;
+        for exec in [Executor::new(ExecMode::Sequential), Executor::new(ExecMode::Threads(3))] {
+            for (mode, &dim) in shape.iter().enumerate() {
+                let boundaries = vec![dim / 3, dim / 2, dim];
+                let mut ws = MttkrpWorkspace::new(&x, mode, &boundaries, rank).unwrap();
+                let mut h = Mat::random(dim, rank, 77); // dirty on purpose
+                // Two different factor sets through the same workspace:
+                // slab zeroing must erase all state between calls.
+                for seed in [5, 6] {
+                    let k = KruskalTensor::random(&shape, rank, seed);
+                    mttkrp_blocked_into(&x, k.factors(), &mut ws, &exec, &mut h).unwrap();
+                    let want =
+                        mttkrp_blocked(&x, k.factors(), mode, &boundaries, &exec).unwrap();
+                    assert_eq!(h.as_slice(), want.as_slice(), "mode {mode} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_product_into_is_bit_identical() {
+        let k = KruskalTensor::random(&[4, 6, 5], 3, 3);
+        let grams: Vec<Mat> = k.factors().iter().map(Mat::gram).collect();
+        let mut out = Mat::random(3, 3, 50); // dirty on purpose
+        for mode in 0..3 {
+            gram_product_into(&grams, mode, &mut out).unwrap();
+            assert_eq!(out, gram_product(&grams, mode).unwrap());
+        }
+        assert!(gram_product_into(&grams, 0, &mut Mat::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn mttkrp_workspace_rejects_bad_boundaries() {
+        let x = random_coo(&[4, 4], 5, 1);
+        assert!(MttkrpWorkspace::new(&x, 0, &[], 2).is_err());
+        assert!(MttkrpWorkspace::new(&x, 0, &[2], 2).is_err());
+        assert!(MttkrpWorkspace::new(&x, 0, &[3, 2, 4], 2).is_err());
+        assert!(MttkrpWorkspace::new(&x, 5, &[4], 2).is_err());
     }
 
     #[test]

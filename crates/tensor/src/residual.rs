@@ -97,6 +97,89 @@ pub fn residual_into_exec(
     Ok(())
 }
 
+/// Reusable chunk buffers for [`residual_refresh_exec`], sized once for a
+/// fixed support and executor so the steady-state refresh allocates
+/// nothing.
+pub struct ResidualWorkspace {
+    jobs: Vec<ResidualChunk>,
+}
+
+struct ResidualChunk {
+    range: std::ops::Range<usize>,
+    buf: Vec<f64>,
+}
+
+impl ResidualWorkspace {
+    /// Chunk `nnz` entries for `exec` (same `threads × 4` chunking as
+    /// [`residual_into_exec`]).
+    pub fn new(nnz: usize, exec: &Executor) -> Self {
+        let jobs = even_ranges(nnz, exec.threads() * 4)
+            .into_iter()
+            .map(|range| {
+                let len = range.len();
+                ResidualChunk { range, buf: vec![0.0; len] }
+            })
+            .collect();
+        ResidualWorkspace { jobs }
+    }
+}
+
+/// Allocation-free [`residual_into_exec`] for an already-initialized
+/// residual: every entry `e[i] = t[i] − [[A…]](idx[i])` is computed
+/// independently, so the values are bit-identical to the sequential loop
+/// for any chunking. At one thread this *is* the sequential loop (no
+/// buffers touched); threaded runs fill the workspace's per-chunk buffers
+/// and copy back in chunk order.
+///
+/// Unlike [`residual_into_exec`] this never falls back to allocating a
+/// fresh residual: a support mismatch is an error.
+pub fn residual_refresh_exec(
+    observed: &CooTensor,
+    model: &KruskalTensor,
+    e: &mut CooTensor,
+    ws: &mut ResidualWorkspace,
+    exec: &Executor,
+) -> Result<()> {
+    // Shape check without materializing `model.shape()` (a fresh `Vec`):
+    // this runs once per solver iteration and must stay allocation-free.
+    let shape_ok = model.factors().len() == observed.order()
+        && model.factors().iter().zip(observed.shape()).all(|(f, &d)| f.rows() == d);
+    if !shape_ok {
+        return Err(TensorError::ShapeMismatch(format!(
+            "observed shape {:?} vs model shape {:?}",
+            observed.shape(),
+            model.shape()
+        )));
+    }
+    if e.nnz() != observed.nnz() || e.shape() != observed.shape() {
+        return Err(TensorError::ShapeMismatch(
+            "residual refresh requires a residual sharing the observed support".into(),
+        ));
+    }
+    if exec.threads() <= 1 {
+        let vals = e.values_mut();
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = observed.value(i) - model.eval(observed.index(i));
+        }
+        return Ok(());
+    }
+    debug_assert_eq!(
+        ws.jobs.iter().map(|j| j.range.len()).sum::<usize>(),
+        observed.nnz(),
+        "workspace built for a different support"
+    );
+    exec.run_mut(&mut ws.jobs, |_, job| {
+        for (b, i) in job.buf.iter_mut().zip(job.range.clone()) {
+            *b = observed.value(i) - model.eval(observed.index(i));
+        }
+    });
+    let vals = e.values_mut();
+    for job in &ws.jobs {
+        vals[job.range.clone()].copy_from_slice(&job.buf);
+    }
+    Ok(())
+}
+
 /// The completed-tensor MTTKRP via the residual trick (Eq. 16):
 ///
 /// `H₁ = A⁽ⁿ⁾ · F⁽ⁿ⁾ + E₍ₙ₎U⁽ⁿ⁾` with `F⁽ⁿ⁾ = U⁽ⁿ⁾ᵀU⁽ⁿ⁾` from cached Grams.
@@ -109,7 +192,21 @@ pub fn completed_mttkrp(
     mode: usize,
 ) -> Result<Mat> {
     let f = gram_product(grams, mode)?;
-    let mut h = model.factors()[mode].matmul(&f)?;
+    completed_mttkrp_with_gram(e, model, &f, mode)
+}
+
+/// [`completed_mttkrp`] with the Gram product `F⁽ⁿ⁾` supplied by the
+/// caller — for solvers that already computed `F⁽ⁿ⁾` for the normal
+/// equations and shouldn't recompute it (ALS computes it once per mode
+/// and reuses it here; the result is bit-identical because `F⁽ⁿ⁾` is a
+/// deterministic function of the Grams).
+pub fn completed_mttkrp_with_gram(
+    e: &CooTensor,
+    model: &KruskalTensor,
+    f: &Mat,
+    mode: usize,
+) -> Result<Mat> {
+    let mut h = model.factors()[mode].matmul(f)?;
     let sparse_part = mttkrp(e, model.factors(), mode)?;
     h.axpy(1.0, &sparse_part)?;
     Ok(h)
@@ -233,6 +330,42 @@ mod tests {
             residual_into(&t, &k2, &mut want).unwrap();
             residual_into_exec(&t, &k2, &mut e, &exec).unwrap();
             assert_eq!(e, want);
+        }
+    }
+
+    #[test]
+    fn residual_refresh_exec_is_bitwise_identical() {
+        use distenc_dataflow::{ExecMode, Executor};
+        let t = random_coo(&[6, 5, 4], 40, 2);
+        for mode in [ExecMode::Sequential, ExecMode::Threads(3)] {
+            let exec = Executor::new(mode);
+            let mut ws = ResidualWorkspace::new(t.nnz(), &exec);
+            let k0 = KruskalTensor::random(&[6, 5, 4], 3, 9);
+            let mut e = residual(&t, &k0).unwrap();
+            // Refresh against two successive models through one workspace.
+            for seed in [10, 11] {
+                let k = KruskalTensor::random(&[6, 5, 4], 3, seed);
+                residual_refresh_exec(&t, &k, &mut e, &mut ws, &exec).unwrap();
+                assert_eq!(e, residual(&t, &k).unwrap());
+            }
+            // Support mismatch must error, never silently reallocate.
+            let mut wrong = CooTensor::new(vec![6, 5, 4]);
+            assert!(residual_refresh_exec(&t, &k0, &mut wrong, &mut ws, &exec).is_err());
+        }
+    }
+
+    #[test]
+    fn completed_mttkrp_with_gram_matches_completed_mttkrp() {
+        let shape = [5, 4, 6];
+        let model = KruskalTensor::random(&shape, 3, 11);
+        let t = random_coo(&shape, 30, 3);
+        let e = residual(&t, &model).unwrap();
+        let grams: Vec<Mat> = model.factors().iter().map(Mat::gram).collect();
+        for mode in 0..3 {
+            let f = gram_product(&grams, mode).unwrap();
+            let got = completed_mttkrp_with_gram(&e, &model, &f, mode).unwrap();
+            let want = completed_mttkrp(&e, &model, &grams, mode).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice());
         }
     }
 

@@ -32,7 +32,9 @@ pub fn ttm(x: &CooTensor, a: &Mat, mode: usize) -> Result<CooTensor> {
     }
     let mut shape = x.shape().to_vec();
     shape[mode] = a.cols();
-    let mut out = CooTensor::new(shape);
+    // A zero-column matrix would make the result's mode length 0;
+    // `try_new` turns that into an error instead of a panic.
+    let mut out = CooTensor::try_new(shape)?;
     out.reserve(x.nnz() * a.cols());
     let mut idx = vec![0usize; x.order()];
     for (src_idx, v) in x.iter() {

@@ -1,0 +1,122 @@
+//! Allocation-budget test for the unified solver core (requires
+//! `--features alloc-count`, which installs the counting global
+//! allocator; without the feature this file compiles to nothing).
+//!
+//! The contract (see `distenc-core`'s `solver` module docs): after
+//! `SolverState` and the backend size their workspaces, a steady-state
+//! host iteration performs **zero** heap allocations on the calling
+//! thread in sequential mode, and a thread-count-bounded constant in
+//! threaded mode (the executor boxes one job per dispatch unit) — in both
+//! cases *independent of `nnz` and rank*.
+//!
+//! Methodology: the solver is deterministic, so two runs differing only
+//! in `max_iters` (2 vs 10) perform identical setup work; the difference
+//! in allocation counts divided by 8 is exactly the per-iteration cost.
+//! All measurements live in one `#[test]` because the global counters are
+//! process-wide and concurrently running tests would pollute each other.
+
+#![cfg(feature = "alloc-count")]
+
+use distenc::core::{AdmmConfig, AdmmSolver};
+use distenc::dataflow::alloc;
+use distenc::dataflow::ExecMode;
+use distenc::tensor::{CooTensor, KruskalTensor};
+
+fn planted(shape: &[usize], rank: usize, nnz: usize, seed: u64) -> CooTensor {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let truth = KruskalTensor::random(shape, rank, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa11c);
+    let mut mask = CooTensor::new(shape.to_vec());
+    for _ in 0..nnz {
+        let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
+        mask.push(&idx, 1.0).unwrap();
+    }
+    mask.sort_dedup();
+    truth.eval_at(&mask).unwrap()
+}
+
+/// Thread-local allocation count of one full solve.
+fn thread_allocs_of(observed: &CooTensor, cfg: &AdmmConfig) -> u64 {
+    let before = alloc::snapshot();
+    let res = AdmmSolver::new(cfg.clone())
+        .unwrap()
+        .solve(observed, &[None, None, None])
+        .unwrap();
+    let d = alloc::snapshot().delta(before);
+    assert_eq!(res.iterations, cfg.max_iters, "must not converge early");
+    drop(res);
+    d.thread_allocs
+}
+
+/// Global (all-threads) allocation count of one full solve.
+fn global_allocs_of(observed: &CooTensor, cfg: &AdmmConfig) -> u64 {
+    let before = alloc::snapshot();
+    let res = AdmmSolver::new(cfg.clone())
+        .unwrap()
+        .solve(observed, &[None, None, None])
+        .unwrap();
+    let d = alloc::snapshot().delta(before);
+    assert_eq!(res.iterations, cfg.max_iters, "must not converge early");
+    drop(res);
+    d.global_allocs
+}
+
+/// Per-steady-iteration allocations: difference between a 10-iteration
+/// and a 2-iteration run of the *same* problem, over the 8 extra
+/// iterations. Setup allocations cancel exactly (the solver is
+/// deterministic and both runs size identical workspaces).
+fn per_iter(observed: &CooTensor, cfg: &AdmmConfig, count: fn(&CooTensor, &AdmmConfig) -> u64) -> f64 {
+    let short = AdmmConfig { max_iters: 2, ..cfg.clone() };
+    let long = AdmmConfig { max_iters: 10, ..cfg.clone() };
+    let a = count(observed, &short);
+    let b = count(observed, &long);
+    (b.saturating_sub(a)) as f64 / 8.0
+}
+
+#[test]
+fn steady_state_iterations_allocate_o1_heap() {
+    // tol far below reachable so every run executes exactly max_iters.
+    let base = AdmmConfig { rank: 3, tol: 1e-300, ..Default::default() };
+    let small = planted(&[14, 12, 10], 3, 600, 2);
+    let large = planted(&[28, 24, 20], 3, 2400, 3);
+
+    // --- Sequential: literally zero allocations per steady iteration. ---
+    let seq = AdmmConfig { exec: ExecMode::Sequential, ..base.clone() };
+    let seq_small = per_iter(&small, &seq, thread_allocs_of);
+    assert_eq!(seq_small, 0.0, "sequential steady state must not allocate");
+    let seq_large = per_iter(&large, &seq, thread_allocs_of);
+    assert_eq!(seq_large, 0.0, "sequential budget must not grow with nnz");
+    let seq_rank5 = per_iter(
+        &planted(&[14, 12, 10], 3, 600, 2),
+        &AdmmConfig { rank: 5, ..seq.clone() },
+        thread_allocs_of,
+    );
+    assert_eq!(seq_rank5, 0.0, "sequential budget must not grow with rank");
+
+    // --- Threaded: O(threads) job boxes per dispatch, nothing else. ----
+    // The count depends only on the dispatch structure (modes × parts),
+    // so it must be identical for a 4× larger tensor and a larger rank.
+    let thr = AdmmConfig { exec: ExecMode::Threads(4), ..base.clone() };
+    let thr_small = per_iter(&small, &thr, global_allocs_of);
+    let thr_large = per_iter(&large, &thr, global_allocs_of);
+    let thr_rank5 = per_iter(
+        &planted(&[14, 12, 10], 3, 600, 2),
+        &AdmmConfig { rank: 5, ..thr.clone() },
+        global_allocs_of,
+    );
+    assert_eq!(
+        thr_small, thr_large,
+        "threaded per-iteration allocations must be independent of nnz"
+    );
+    assert_eq!(
+        thr_small, thr_rank5,
+        "threaded per-iteration allocations must be independent of rank"
+    );
+    // Sanity bound: a handful of boxed jobs per kernel dispatch, not a
+    // per-entry or per-row cost.
+    assert!(
+        thr_small < 256.0,
+        "threaded steady iteration allocates {thr_small} times — workspace reuse is broken"
+    );
+}
