@@ -21,6 +21,13 @@ DISTENC_THREADS=4 cargo test -q
 echo "==> cargo test -q --features alloc-count --test alloc_budget"
 cargo test -q --features alloc-count --test alloc_budget
 
+# The pass-count gate proves the fused schedule sweeps the nonzeros N
+# times per iteration versus N+1 unfused. Counts tick once per kernel
+# invocation (never per thread/chunk), so this is host-independent; like
+# alloc-count, the instrument stays out of the default feature set.
+echo "==> cargo test -q --features pass-count --test pass_count"
+cargo test -q --features pass-count --test pass_count
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

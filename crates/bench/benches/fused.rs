@@ -1,0 +1,128 @@
+//! Fused-sweep benchmark: steady-state iteration time of the ADMM solver
+//! with the fused residual-refresh+MTTKRP schedule (the default) against
+//! the unfused N+1-pass schedule, on the `solver_core` workload.
+//!
+//! Writes `BENCH_fused.json` at the repository root. Entries report
+//! nanoseconds **per steady-state iteration**, isolated from setup by
+//! differencing two runs of the same problem at different `max_iters`
+//! (setup is identical in both, so the delta is pure iteration work).
+//! The rank sweep covers both rank-specialized inner loops (R = 8, 16)
+//! and the generic fallback (R = 17), fused and unfused, so the JSON
+//! shows the fusion win per kernel variant.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use distenc_core::{AdmmConfig, AdmmSolver};
+use distenc_dataflow::ExecMode;
+use distenc_tensor::{CooTensor, KruskalTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const SHAPE: [usize; 3] = [120, 100, 80];
+const NNZ: usize = 60_000;
+const RANK: usize = 8;
+const THREADS: [usize; 2] = [1, 4];
+const RANKS: [usize; 3] = [8, 16, 17];
+/// Iteration counts differenced to isolate per-iteration cost.
+const SHORT_ITERS: usize = 2;
+const LONG_ITERS: usize = 10;
+
+fn workload(rank: usize) -> CooTensor {
+    let truth = KruskalTensor::random(&SHAPE, rank, 17);
+    let mut rng = StdRng::seed_from_u64(0xbe9c);
+    let mut mask = CooTensor::new(SHAPE.to_vec());
+    for _ in 0..NNZ {
+        let idx: Vec<usize> = SHAPE.iter().map(|&d| rng.random_range(0..d)).collect();
+        mask.push(&idx, 1.0).unwrap();
+    }
+    mask.sort_dedup();
+    truth.eval_at(&mask).unwrap()
+}
+
+fn solve(x: &CooTensor, rank: usize, threads: usize, fused: bool, iters: usize) {
+    let cfg = AdmmConfig {
+        rank,
+        max_iters: iters,
+        tol: 1e-300, // factor deltas never get this small: all `iters` iterations run
+        fused,
+        exec: if threads >= 2 { ExecMode::Threads(threads) } else { ExecMode::Sequential },
+        ..Default::default()
+    };
+    let laps = vec![None; 3];
+    AdmmSolver::new(cfg).unwrap().solve(black_box(x), &laps).unwrap();
+}
+
+/// Median-of-`reps` wall time of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// ns per steady-state iteration, by differencing short and long runs.
+/// More repetitions than the other benches (15 vs 5): fused-vs-unfused
+/// gaps can be ~10%, within single-shot noise on a busy container.
+fn steady_ns(x: &CooTensor, rank: usize, threads: usize, fused: bool) -> u64 {
+    solve(x, rank, threads, fused, 1); // warm up caches and code paths
+    let span = (LONG_ITERS - SHORT_ITERS) as u64;
+    let t_short = median_ns(15, || solve(x, rank, threads, fused, SHORT_ITERS));
+    let t_long = median_ns(15, || solve(x, rank, threads, fused, LONG_ITERS));
+    t_long.saturating_sub(t_short) / span
+}
+
+fn fmt_pair(label: &str, fused_ns: u64, plain_ns: u64) -> String {
+    format!(
+        "    \"{label}\": {{ \"fused_ns_per_iter\": {fused_ns}, \"unfused_ns_per_iter\": {plain_ns}, \"unfused_over_fused\": {:.3} }}",
+        plain_ns as f64 / fused_ns.max(1) as f64,
+    )
+}
+
+fn bench_steady_iteration(c: &mut Criterion) {
+    let x = workload(RANK);
+    let mut g = c.benchmark_group("fused_steady_iteration");
+    for fused in [true, false] {
+        let tag = if fused { "fused" } else { "unfused" };
+        g.bench_function(tag, |b| b.iter(|| solve(&x, RANK, 1, fused, SHORT_ITERS)));
+    }
+    g.finish();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let x = workload(RANK);
+    let threads_rows: Vec<String> = THREADS
+        .iter()
+        .map(|&n| {
+            let fused_ns = steady_ns(&x, RANK, n, true);
+            let plain_ns = steady_ns(&x, RANK, n, false);
+            fmt_pair(&format!("threads_{n}"), fused_ns, plain_ns)
+        })
+        .collect();
+    let rank_rows: Vec<String> = RANKS
+        .iter()
+        .map(|&r| {
+            let xr = workload(r);
+            let fused_ns = steady_ns(&xr, r, 1, true);
+            let plain_ns = steady_ns(&xr, r, 1, false);
+            fmt_pair(&format!("rank_{r}"), fused_ns, plain_ns)
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"workload\": {{ \"shape\": {SHAPE:?}, \"nnz\": {NNZ}, \"rank\": {RANK}, \"iter_span\": [{SHORT_ITERS}, {LONG_ITERS}] }},\n  \"threads\": {{\n{}\n  }},\n  \"rank_sweep_threads_1\": {{\n{}\n  }},\n  \"note\": \"ns per steady-state iteration, isolated by differencing max_iters={SHORT_ITERS} and ={LONG_ITERS} runs; fused = one sweep refreshes the residual and banks the next mode-0 MTTKRP (3 passes/iter on this order-3 tensor), unfused = separate sweeps (4 passes/iter); ranks 8/16 use the specialized inner loops, 17 the generic fallback; results are bit-identical either way\"\n}}\n",
+        threads_rows.join(",\n"),
+        rank_rows.join(",\n"),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_fused.json");
+    std::fs::write(&path, &json).expect("write BENCH_fused.json");
+    eprintln!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_steady_iteration, emit_json);
+criterion_main!(benches);

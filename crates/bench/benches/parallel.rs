@@ -45,7 +45,7 @@ fn bench_mttkrp_threads(c: &mut Criterion) {
     let mut g = c.benchmark_group("mttkrp_mode0_120k_nnz");
     for n in THREADS {
         let exec = executor(n);
-        let cuts = greedy_boundaries(&x.slice_nnz(0), exec.threads());
+        let cuts = greedy_boundaries(&x.slice_nnz(0), exec.parallelism());
         g.bench_function(&format!("threads_{n}"), |b| {
             b.iter(|| {
                 mttkrp_blocked(black_box(&x), model.factors(), 0, &cuts, &exec).unwrap()
@@ -117,7 +117,7 @@ fn emit_json(_c: &mut Criterion) {
     let mut admm_ns = Vec::new();
     for n in THREADS {
         let exec = executor(n);
-        let cuts = greedy_boundaries(&x.slice_nnz(0), exec.threads());
+        let cuts = greedy_boundaries(&x.slice_nnz(0), exec.parallelism());
         mttkrp_ns.push((
             n,
             median_ns(7, || {

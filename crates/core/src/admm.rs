@@ -152,12 +152,14 @@ pub(crate) fn solve_with(
 
     // The per-mode MTTKRP boundaries (Algorithm 2's greedy balancing over
     // slice loads) are computed once — the support never changes — and
-    // any blocking is bit-exact, so sizing them to the thread count is
-    // free.
+    // any blocking is bit-exact, so sizing them to the worker count is
+    // free. `parallelism()` (not `threads()`) clamps the chunk count to
+    // the cores actually available, so a `DISTENC_THREADS` setting above
+    // the machine's core count no longer oversplits the kernels.
     let exec = Executor::new(cfg.exec);
     let boundaries: Vec<Vec<usize>> = (0..n_modes)
         .map(|n| {
-            distenc_partition::greedy_boundaries(&observed.slice_nnz(n), exec.threads())
+            distenc_partition::greedy_boundaries(&observed.slice_nnz(n), exec.parallelism())
         })
         .collect();
 
@@ -175,7 +177,7 @@ pub(crate) fn solve_with(
         Vec::new()
     };
 
-    let mut backend = HostBackend::new(observed, &boundaries, cfg.rank, exec, clock)?;
+    let mut backend = HostBackend::new(observed, &boundaries, cfg.rank, exec, cfg.fused, clock)?;
     let st = SolverState::new(
         observed,
         truncated,

@@ -44,6 +44,13 @@ pub struct AdmmConfig {
     /// see `distenc-dataflow`'s `exec` module; defaults from the
     /// `DISTENC_THREADS` environment variable.
     pub exec: distenc_dataflow::ExecMode,
+    /// Fuse the end-of-iteration residual refresh with the *next*
+    /// iteration's mode-0 MTTKRP into a single sweep over the nonzeros
+    /// (N passes per iteration instead of N+1 for an order-N tensor).
+    /// Bit-identical to the unfused schedule — the fused kernels replay
+    /// the exact same floating-point folds — so this is on by default;
+    /// the switch exists for the ablation and the pass-count gate.
+    pub fused: bool,
 }
 
 impl Default for AdmmConfig {
@@ -63,6 +70,7 @@ impl Default for AdmmConfig {
             partition: distenc_partition::PartitionStrategy::Greedy,
             use_csf: false,
             exec: distenc_dataflow::ExecMode::default(),
+            fused: true,
         }
     }
 }
@@ -110,6 +118,12 @@ impl AdmmConfig {
         self
     }
 
+    /// Builder-style fused-sweep override (see [`AdmmConfig::fused`]).
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
     /// Sanity-check parameter ranges, returning a description of the first
     /// violation.
     pub fn validate(&self) -> std::result::Result<(), String> {
@@ -152,7 +166,10 @@ mod tests {
             .with_alpha(0.5)
             .with_seed(7)
             .with_tol(1e-6)
-            .with_eigen_k(3);
+            .with_eigen_k(3)
+            .with_fused(false);
+        assert!(!c.fused);
+        assert!(AdmmConfig::default().fused, "fusion is the default schedule");
         assert_eq!(c.rank, 5);
         assert_eq!(c.max_iters, 9);
         assert_eq!(c.alpha, 0.5);

@@ -128,7 +128,8 @@ impl<'c> DisTenC<'c> {
             .map(|part| (0..part.parts()).map(|p| part.range(p).end).collect())
             .collect();
         let eigen_k: Vec<usize> = truncated.iter().map(|t| t.k()).collect();
-        let mut backend = ClusterBackend::new(cl, rank, mode_parts, meta, eigen_k);
+        let mut backend =
+            ClusterBackend::new(cl, rank, mode_parts, meta, eigen_k, self.cfg.fused);
         let st = SolverState::new(
             observed,
             &truncated,

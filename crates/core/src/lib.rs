@@ -45,6 +45,17 @@ pub use trace::{ConvergenceTrace, TracePoint};
 
 use distenc_tensor::KruskalTensor;
 
+/// One tick on the pass-count instrument per full entry-list sweep the
+/// *cluster backend* performs locally (the host backend's sweeps are
+/// recorded by the `distenc-tensor` kernels themselves). Compiles to
+/// nothing without the `pass-count` feature; one tick per kernel
+/// invocation, never per block or thread, so counts are host-independent.
+#[inline]
+pub(crate) fn record_entry_sweep() {
+    #[cfg(feature = "pass-count")]
+    distenc_dataflow::passes::record_sweep();
+}
+
 /// Errors from the completion solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {

@@ -54,6 +54,15 @@ pub(crate) struct ClusterBackend<'c> {
     gram_ranges: Vec<Vec<std::ops::Range<usize>>>,
     /// `truncated[n].k()` per mode, for the B-update projection charge.
     eigen_k: Vec<usize>,
+    /// Fuse the residual refresh with the next mode-0 MTTKRP
+    /// ([`crate::AdmmConfig::fused`]).
+    fused: bool,
+    /// Stashed `E₍₀₎U⁽⁰⁾` (`I₀×R`) banked by the fused sweep. The virtual
+    /// clock still pays for mode 0 in full — only the *local* compute is
+    /// skipped — so fusion never perturbs the golden timestamps.
+    h0: Mat,
+    /// Whether `h0` holds a live stash for the upcoming mode-0 call.
+    h0_ready: bool,
 }
 
 impl<'c> ClusterBackend<'c> {
@@ -64,6 +73,7 @@ impl<'c> ClusterBackend<'c> {
         mode_parts: Vec<ModePartition>,
         meta: Vec<BlockMeta>,
         eigen_k: Vec<usize>,
+        fused: bool,
     ) -> Self {
         let n_modes = mode_parts.len();
         let groups = (0..n_modes)
@@ -75,11 +85,26 @@ impl<'c> ClusterBackend<'c> {
                 g
             })
             .collect();
-        let gram_ranges = mode_parts
+        let gram_ranges: Vec<Vec<std::ops::Range<usize>>> = mode_parts
             .iter()
             .map(|part| (0..part.parts()).map(|p| part.range(p)).collect())
             .collect();
-        ClusterBackend { cl, rank, n_modes, mode_parts, meta, groups, gram_ranges, eigen_k }
+        // The mode-0 ranges cover [0, I₀), so the last end is the row
+        // count of the stash.
+        let rows0 = mode_parts[0].range(mode_parts[0].parts() - 1).end;
+        ClusterBackend {
+            cl,
+            rank,
+            n_modes,
+            mode_parts,
+            meta,
+            groups,
+            gram_ranges,
+            eigen_k,
+            fused,
+            h0: Mat::zeros(rows0, rank),
+            h0_ready: false,
+        }
     }
 
     // ---- Accounting helpers ---------------------------------------------
@@ -170,6 +195,24 @@ impl<'c> ClusterBackend<'c> {
         cl.shuffle(&sent, &received)?;
         Ok(())
     }
+
+    /// The residual refresh's per-block stage charge (`nnz·N·R` flops,
+    /// entries in, values out) — shared verbatim by the fused and unfused
+    /// refresh paths so their virtual-time footprints are identical.
+    fn charge_refresh_stage(&self, blocks: &[super::ResidualBlock]) -> Result<()> {
+        let mut tasks = Vec::with_capacity(blocks.len());
+        for (b, m) in blocks.iter().zip(&self.meta) {
+            let nnz = b.entries.nnz();
+            tasks.push(TaskCost {
+                machine: m.machine,
+                flops: (nnz * self.n_modes * self.rank) as f64,
+                input_bytes: nnz as u64 * (self.n_modes as u64 + 1) * F64,
+                output_bytes: nnz as u64 * F64,
+            });
+        }
+        self.cl.run_stage(&tasks)?;
+        Ok(())
+    }
 }
 
 impl StepBackend for ClusterBackend<'_> {
@@ -191,50 +234,63 @@ impl StepBackend for ClusterBackend<'_> {
         let cl = self.cl;
         let rank = self.rank;
         // Remote factor rows for every mode except `mode`'s own output —
-        // inputs come from all modes k ≠ mode.
+        // inputs come from all modes k ≠ mode. Charged even when the
+        // fused stash answers below: the simulated cluster still moves
+        // the rows (the stash is a local-compute shortcut, not a
+        // communication one), which keeps the virtual clock identical to
+        // the unfused schedule.
         self.charge_factor_fetch(Some(mode))?;
 
         let shape = model.shape();
-        // Algorithm 2's block boundaries double as the parallel work
-        // decomposition: blocks sharing a mode-`mode` partition coordinate
-        // write the same output row range, so they form one work unit
-        // (processed in ascending block order — the same order the old
-        // sequential loop used), while distinct coordinates own disjoint
-        // row ranges and run concurrently with no atomics. Bit-identical
-        // to a single sequential sweep for every `ExecMode`.
-        let part = &self.mode_parts[mode];
-        let slabs = cl.executor().run(&self.groups[mode], |p, members| {
-            let rows = part.range(p);
-            let mut slab = Mat::zeros(rows.len(), rank);
-            let mut scratch = vec![0.0; rank];
-            for &bi in members {
-                let b = &blocks[bi];
-                for (pos, (idx, _)) in b.entries.iter().enumerate() {
-                    let v = b.vals[pos];
-                    scratch.iter_mut().for_each(|s| *s = v);
-                    for (k, f) in model.factors().iter().enumerate() {
-                        if k == mode {
-                            continue;
+        if mode == 0 && self.h0_ready {
+            // The fused sweep already computed this against the very same
+            // factors (no swap between the refresh and this call).
+            self.h0_ready = false;
+            out.as_mut_slice().copy_from_slice(self.h0.as_slice());
+        } else {
+            crate::record_entry_sweep();
+            // Algorithm 2's block boundaries double as the parallel work
+            // decomposition: blocks sharing a mode-`mode` partition
+            // coordinate write the same output row range, so they form one
+            // work unit (processed in ascending block order — the same
+            // order the old sequential loop used), while distinct
+            // coordinates own disjoint row ranges and run concurrently
+            // with no atomics. Bit-identical to a single sequential sweep
+            // for every `ExecMode`.
+            let part = &self.mode_parts[mode];
+            let slabs = cl.executor().run(&self.groups[mode], |p, members| {
+                let rows = part.range(p);
+                let mut slab = Mat::zeros(rows.len(), rank);
+                let mut scratch = vec![0.0; rank];
+                for &bi in members {
+                    let b = &blocks[bi];
+                    for (pos, (idx, _)) in b.entries.iter().enumerate() {
+                        let v = b.vals[pos];
+                        scratch.iter_mut().for_each(|s| *s = v);
+                        for (k, f) in model.factors().iter().enumerate() {
+                            if k == mode {
+                                continue;
+                            }
+                            let row = f.row(idx[k]);
+                            for (s, &a) in scratch.iter_mut().zip(row) {
+                                *s *= a;
+                            }
                         }
-                        let row = f.row(idx[k]);
-                        for (s, &a) in scratch.iter_mut().zip(row) {
-                            *s *= a;
+                        let o = slab.row_mut(idx[mode] - rows.start);
+                        for (o, &s) in o.iter_mut().zip(&scratch) {
+                            *o += s;
                         }
-                    }
-                    let o = slab.row_mut(idx[mode] - rows.start);
-                    for (o, &s) in o.iter_mut().zip(&scratch) {
-                        *o += s;
                     }
                 }
+                slab
+            });
+            // Stitch the disjoint row slabs in fixed partition order; the
+            // ranges cover every output row, so no pre-zeroing is needed.
+            for (p, slab) in slabs.iter().enumerate() {
+                let rows = part.range(p);
+                out.as_mut_slice()[rows.start * rank..rows.end * rank]
+                    .copy_from_slice(slab.as_slice());
             }
-            slab
-        });
-        // Stitch the disjoint row slabs in fixed partition order; the
-        // ranges cover every output row, so no pre-zeroing is needed.
-        for (p, slab) in slabs.iter().enumerate() {
-            let rows = part.range(p);
-            out.as_mut_slice()[rows.start * rank..rows.end * rank]
-                .copy_from_slice(slab.as_slice());
         }
         let mut tasks = Vec::with_capacity(blocks.len());
         let mut sent = vec![0u64; cl.machines()];
@@ -301,8 +357,7 @@ impl StepBackend for ClusterBackend<'_> {
         };
         // This stage reads every mode's factor rows at each block.
         self.charge_factor_fetch(None)?;
-        let n_modes = self.n_modes;
-        let rank = self.rank;
+        crate::record_entry_sweep();
         // Residual entries are independent, so one task per block on the
         // executor is bit-exact regardless of scheduling.
         self.cl.executor().run_mut(blocks, |_, b| {
@@ -310,18 +365,89 @@ impl StepBackend for ClusterBackend<'_> {
                 b.vals[pos] = v - model.eval(idx);
             }
         });
-        let mut tasks = Vec::with_capacity(blocks.len());
-        for (b, m) in blocks.iter().zip(&self.meta) {
-            let nnz = b.entries.nnz();
-            tasks.push(TaskCost {
-                machine: m.machine,
-                flops: (nnz * n_modes * rank) as f64,
-                input_bytes: nnz as u64 * (n_modes as u64 + 1) * F64,
-                output_bytes: nnz as u64 * F64,
-            });
-        }
-        self.cl.run_stage(&tasks)?;
+        self.charge_refresh_stage(blocks)?;
         Ok(())
+    }
+
+    /// Fused refresh + mode-0 MTTKRP (see [`StepBackend::fused_step`]):
+    /// one sweep over the block entries recomputes `e = t − [[A…]](idx)`,
+    /// accumulates the mode-0 partial `H` slabs, and banks them in `h0`.
+    /// The cluster charges are *exactly* the unfused refresh's —
+    /// `charge_factor_fetch(None)` then the per-block refresh stage — so
+    /// the virtual clock (and the golden distenc trace) is untouched; the
+    /// fused win on the simulated cluster is local flops, which this model
+    /// charges per stage, not per arithmetic op.
+    fn fused_step(
+        &mut self,
+        observed: &distenc_tensor::CooTensor,
+        model: &KruskalTensor,
+        residual: &mut ResidualStore,
+        fuse_next: bool,
+    ) -> Result<f64> {
+        if !(self.fused && fuse_next) {
+            self.refresh_residual(observed, model, residual)?;
+            return Ok(residual.frob_norm_sq());
+        }
+        let ResidualStore::Blocked { blocks } = residual else {
+            return Err(crate::CoreError::Invalid(
+                "cluster backend requires a blocked residual".into(),
+            ));
+        };
+        self.charge_factor_fetch(None)?;
+        crate::record_entry_sweep();
+        let rank = self.rank;
+        // Mode-0 work groups partition the blocks (every block has exactly
+        // one mode-0 coordinate), so sweeping group-by-group visits each
+        // entry once. Per entry the arithmetic is the refresh's
+        // `t − eval` followed by the MTTKRP's own scratch fold — the same
+        // two folds the unfused schedule runs in separate sweeps, in the
+        // same order, so values, slabs, and `‖E‖²` all match bit-for-bit.
+        let part = &self.mode_parts[0];
+        let groups = &self.groups[0];
+        let results = self.cl.executor().run(groups, |p, members| {
+            let rows = part.range(p);
+            let mut slab = Mat::zeros(rows.len(), rank);
+            let mut scratch = vec![0.0; rank];
+            // Fresh residual values per member block (written back below —
+            // the closure cannot alias `blocks` mutably). Reduction-slab
+            // exemption from the allocation budget, like `slab` itself.
+            let mut fresh: Vec<Vec<f64>> = Vec::with_capacity(members.len());
+            for &bi in members {
+                let b = &blocks[bi];
+                let mut vals = vec![0.0; b.entries.nnz()];
+                for (pos, (idx, t)) in b.entries.iter().enumerate() {
+                    let v = t - model.eval(idx);
+                    vals[pos] = v;
+                    scratch.iter_mut().for_each(|s| *s = v);
+                    for (k, f) in model.factors().iter().enumerate() {
+                        if k == 0 {
+                            continue;
+                        }
+                        let row = f.row(idx[k]);
+                        for (s, &a) in scratch.iter_mut().zip(row) {
+                            *s *= a;
+                        }
+                    }
+                    let o = slab.row_mut(idx[0] - rows.start);
+                    for (o, &s) in o.iter_mut().zip(&scratch) {
+                        *o += s;
+                    }
+                }
+                fresh.push(vals);
+            }
+            (slab, fresh)
+        });
+        for (p, (slab, fresh)) in results.iter().enumerate() {
+            let rows = part.range(p);
+            self.h0.as_mut_slice()[rows.start * rank..rows.end * rank]
+                .copy_from_slice(slab.as_slice());
+            for (&bi, vals) in groups[p].iter().zip(fresh) {
+                blocks[bi].vals.copy_from_slice(vals);
+            }
+        }
+        self.h0_ready = true;
+        self.charge_refresh_stage(blocks)?;
+        Ok(residual.frob_norm_sq())
     }
 
     fn clock(&self, _iter: usize) -> f64 {

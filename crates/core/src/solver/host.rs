@@ -3,13 +3,23 @@
 //!
 //! Every kernel workspace is sized once at construction and reused every
 //! iteration, so the steady state allocates nothing on the calling
-//! thread (the threaded executor boxes O(parts) jobs per dispatch; the
-//! sequential path is a plain loop).
+//! thread (the threaded executor hands work to its resident pool through
+//! an unboxed index broadcast; the sequential path is a plain loop).
+//!
+//! With fusion enabled this backend implements the N-pass schedule: the
+//! end-of-iteration [`StepBackend::fused_step`] refreshes the residual,
+//! reduces `‖E‖²_F`, and precomputes the next iteration's mode-0 MTTKRP
+//! into the `h0` stash in one sweep over the nonzeros; the next
+//! [`StepBackend::sparse_mttkrp`] call for mode 0 serves the stash
+//! instead of sweeping again. Every fused kernel is bit-identical to the
+//! separate sweeps it replaces (`distenc_tensor::fused` pins this), so
+//! the solver's iterates — and the golden traces — are unchanged.
 
 use super::{ResidualStore, StepBackend};
 use crate::Result;
 use distenc_dataflow::Executor;
 use distenc_linalg::Mat;
+use distenc_tensor::fused::fused_mttkrp_refresh_into;
 use distenc_tensor::mttkrp::{mttkrp_blocked_into, MttkrpWorkspace};
 use distenc_tensor::residual::{residual_refresh_exec, ResidualWorkspace};
 use distenc_tensor::{CooTensor, KruskalTensor};
@@ -22,6 +32,14 @@ pub(crate) struct HostBackend<C> {
     /// cheap: the buckets are indices into the fixed support).
     mtt: Vec<MttkrpWorkspace>,
     res: ResidualWorkspace,
+    /// Fuse the residual refresh with the next mode-0 MTTKRP
+    /// ([`crate::AdmmConfig::fused`]).
+    fused: bool,
+    /// Stashed `E₍₀₎U⁽⁰⁾` (`I₀×R`) banked by the fused sweep for the next
+    /// iteration's mode-0 [`StepBackend::sparse_mttkrp`].
+    h0: Mat,
+    /// Whether `h0` holds a live stash for the upcoming mode-0 call.
+    h0_ready: bool,
     clock: C,
 }
 
@@ -34,13 +52,15 @@ impl<C: Fn(usize) -> f64> HostBackend<C> {
         boundaries: &[Vec<usize>],
         rank: usize,
         exec: Executor,
+        fused: bool,
         clock: C,
     ) -> Result<Self> {
         let mtt = (0..observed.order())
             .map(|n| MttkrpWorkspace::new(observed, n, &boundaries[n], rank))
             .collect::<distenc_tensor::Result<Vec<_>>>()?;
         let res = ResidualWorkspace::new(observed.nnz(), &exec);
-        Ok(HostBackend { exec, mtt, res, clock })
+        let h0 = Mat::zeros(observed.shape()[0], rank);
+        Ok(HostBackend { exec, mtt, res, fused, h0, h0_ready: false, clock })
     }
 }
 
@@ -52,6 +72,14 @@ impl<C: Fn(usize) -> f64> StepBackend for HostBackend<C> {
         mode: usize,
         out: &mut Mat,
     ) -> Result<()> {
+        if mode == 0 && self.h0_ready {
+            // The fused sweep already computed this against the very same
+            // factors (no swap happens between the refresh and this call);
+            // serving the stash saves the whole pass.
+            self.h0_ready = false;
+            out.as_mut_slice().copy_from_slice(self.h0.as_slice());
+            return Ok(());
+        }
         let ResidualStore::Coo { e, csf } = residual else {
             return Err(crate::CoreError::Invalid(
                 "host backend requires a COO residual".into(),
@@ -89,6 +117,47 @@ impl<C: Fn(usize) -> f64> StepBackend for HostBackend<C> {
             c.set_values(e)?;
         }
         Ok(())
+    }
+
+    fn fused_step(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        residual: &mut ResidualStore,
+        fuse_next: bool,
+    ) -> Result<f64> {
+        if !(self.fused && fuse_next) {
+            // Nothing to bank (ablation switch off, or no next iteration):
+            // the plain refresh does one pass without the MTTKRP flops.
+            self.refresh_residual(observed, model, residual)?;
+            return Ok(residual.frob_norm_sq());
+        }
+        let ResidualStore::Coo { e, csf } = residual else {
+            return Err(crate::CoreError::Invalid(
+                "host backend requires a COO residual".into(),
+            ));
+        };
+        let frob = if csf.is_empty() {
+            fused_mttkrp_refresh_into(
+                observed,
+                model,
+                &mut self.mtt[0],
+                &self.exec,
+                e,
+                &mut self.h0,
+            )?
+        } else {
+            // The mode-0 tree walk refreshes its own leaves and `e`; the
+            // other modes' trees re-scatter from `e` (values only, not a
+            // sweep over the factors).
+            let frob = csf[0].fused_mttkrp_refresh_root_into(observed, model, e, &mut self.h0)?;
+            for c in csf[1..].iter_mut() {
+                c.set_values(e)?;
+            }
+            frob
+        };
+        self.h0_ready = true;
+        Ok(frob)
     }
 
     fn clock(&self, iter: usize) -> f64 {

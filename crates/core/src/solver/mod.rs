@@ -22,12 +22,23 @@
 //! **Allocation contract.** After [`SolverState::new`] sizes the
 //! [`Workspace`] and the backend sizes its kernel workspaces, a
 //! steady-state iteration of the host solver performs no heap allocation
-//! on the calling thread in sequential mode, and only the executor's
-//! O(threads) boxed job dispatch in threaded mode. Documented exemptions:
-//! the CSF tree walk (per-level recursion accumulators, `O(depth·R)`) and
-//! the distributed driver's accounting vectors (`TaskCost` / shuffle
-//! tallies — bookkeeping, not step math). The `alloc-count` feature and
+//! on the calling thread — in sequential mode *and* in threaded mode,
+//! because the executor dispatches work to its resident pool through an
+//! unboxed index broadcast (`Pool::run_indexed`) rather than boxed jobs.
+//! Documented exemptions: the CSF tree walk (per-level recursion
+//! accumulators, `O(depth·R)`) and the distributed driver's accounting
+//! vectors (`TaskCost` / shuffle tallies / per-call reduction slabs —
+//! bookkeeping, not step math). The `alloc-count` feature and
 //! `tests/alloc_budget.rs` enforce this.
+//!
+//! **Pass contract.** With fusion enabled (the default,
+//! [`AdmmConfig::fused`]) a steady-state iteration sweeps the nonzero
+//! list exactly N times for an order-N tensor: N−1 plain MTTKRPs for
+//! modes 1..N, plus one fused sweep ([`StepBackend::fused_step`]) that
+//! refreshes the residual, reduces `‖E‖²_F`, **and** precomputes the next
+//! iteration's mode-0 MTTKRP in a single pass. Unfused, the same
+//! iteration takes N+1 sweeps. The `pass-count` feature counts the sweeps
+//! and `tests/pass_count.rs` pins the N-vs-N+1 gap.
 
 use crate::config::AdmmConfig;
 use crate::trace::{ConvergenceTrace, TracePoint};
@@ -230,6 +241,34 @@ pub(crate) trait StepBackend {
         residual: &mut ResidualStore,
     ) -> Result<()>;
 
+    /// The end-of-iteration residual refresh plus the `‖E‖²_F` reduction,
+    /// optionally fused with the *next* iteration's mode-0 MTTKRP.
+    ///
+    /// The model this step reads is exactly the model the next iteration's
+    /// mode steps read (the Jacobi swap has already happened), so a
+    /// backend may compute `E₍₀₎U⁽⁰⁾` during the same sweep that refreshes
+    /// `E`, stash it, and serve it from the stash when
+    /// [`StepBackend::sparse_mttkrp`] is next called for mode 0 — turning
+    /// N+1 passes over the nonzeros per iteration into N. `fuse_next` is
+    /// false when no further iteration will run (cap reached or
+    /// converged), in which case the stash would be dead work and backends
+    /// should fall back to the plain refresh.
+    ///
+    /// Whatever the backend does must be bit-identical to the default
+    /// body: the refreshed `E` values, the returned `‖E‖²_F` (same fold
+    /// order as [`ResidualStore::frob_norm_sq`]), and the stashed MTTKRP
+    /// must all match the unfused schedule bit-for-bit.
+    fn fused_step(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        residual: &mut ResidualStore,
+        _fuse_next: bool,
+    ) -> Result<f64> {
+        self.refresh_residual(observed, model, residual)?;
+        Ok(residual.frob_norm_sq())
+    }
+
     /// Timestamp for iteration `iter`'s trace point (wall clock on the
     /// host, the cluster's virtual clock distributed).
     fn clock(&self, iter: usize) -> f64;
@@ -353,12 +392,14 @@ pub(crate) fn run<B: StepBackend>(
     debug_assert_eq!(st.boundaries.len(), n_modes, "one boundary set per mode");
 
     // Prologue: Grams of the initial factors (Eq. 12 cache), then the
-    // initial residual E₀ = Ω∗(T − [[A₀…]]) (line 5).
+    // initial residual E₀ = Ω∗(T − [[A₀…]]) (line 5). The fused form also
+    // banks iteration 0's mode-0 MTTKRP — iteration 0 reads the same
+    // initial factors this sweep reads.
     for n in 0..n_modes {
         backend.refresh_gram(&st.model.factors()[n], n, &mut st.grams[n])?;
     }
     backend.on_grams_refreshed()?;
-    backend.refresh_residual(observed, &st.model, &mut st.residual)?;
+    let _ = backend.fused_step(observed, &st.model, &mut st.residual, cfg.max_iters > 0)?;
 
     let mut trace = ConvergenceTrace::new();
     trace.points.reserve(cfg.max_iters);
@@ -384,10 +425,11 @@ pub(crate) fn run<B: StepBackend>(
         backend.on_grams_refreshed()?;
         backend.on_delta_reduced()?;
 
-        // Line 13: refresh the cached residual for the next iteration.
-        backend.refresh_residual(observed, &st.model, &mut st.residual)?;
-        let train_rmse =
-            (st.residual.frob_norm_sq() / observed.nnz() as f64).sqrt();
+        // Line 13: refresh the cached residual for the next iteration —
+        // fused with that iteration's mode-0 MTTKRP when one will run.
+        let fuse_next = t + 1 < cfg.max_iters && delta >= cfg.tol;
+        let frob = backend.fused_step(observed, &st.model, &mut st.residual, fuse_next)?;
+        let train_rmse = (frob / observed.nnz() as f64).sqrt();
         trace.push(TracePoint {
             iter: t,
             seconds: backend.clock(t),

@@ -66,10 +66,19 @@ impl Default for ExecMode {
 
 /// A reusable executor bound to an [`ExecMode`]. Cheap to create in
 /// `Sequential` mode; `Threads(n)` spawns its pool once, up front.
+///
+/// Dispatch is allocation-free: multi-item batches go through
+/// `Pool::run_indexed`, which shares one borrowed closure and has workers
+/// claim item indices from a pool-resident counter — no per-item job
+/// boxes. Single-item batches, `Threads(≤1)`, and single-core hosts (see
+/// [`Executor::parallelism`]) run inline on the caller's stack.
 #[derive(Debug)]
 pub struct Executor {
     mode: ExecMode,
     pool: Option<Pool>,
+    /// Host cores available at construction time
+    /// (`std::thread::available_parallelism`, 1 on error).
+    host: usize,
 }
 
 impl Executor {
@@ -79,7 +88,8 @@ impl Executor {
             0 | 1 => None,
             n => Some(Pool::new(n)),
         };
-        Executor { mode, pool }
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Executor { mode, pool, host }
     }
 
     /// The mode this executor runs under.
@@ -92,6 +102,25 @@ impl Executor {
         self.pool.as_ref().map_or(1, Pool::threads)
     }
 
+    /// Concurrency the host can actually deliver: the configured worker
+    /// count clamped to `available_parallelism`. Size chunk counts from
+    /// this, not [`Executor::threads`] — splitting work into more chunks
+    /// than the host has cores buys no concurrency and pays dispatch
+    /// overhead per chunk (the oversplit pessimization BENCH_parallel.json
+    /// measured: `--threads 8` on a 1-core host ran ~12% slower than
+    /// sequential). Any chunk count is bit-exact; this only affects speed.
+    pub fn parallelism(&self) -> usize {
+        self.threads().min(self.host)
+    }
+
+    /// Whether batches should be dispatched to the pool at all: with one
+    /// usable core the pool adds handoff latency and zero concurrency, so
+    /// everything runs inline (bit-identical either way).
+    #[inline]
+    fn inline_only(&self) -> bool {
+        self.pool.is_none() || self.host == 1
+    }
+
     /// Apply `f` to every item, returning the results **in item order**.
     /// Items are independent work units; `f` must not rely on execution
     /// order across items (it cannot: it only gets `&T`).
@@ -101,24 +130,14 @@ impl Executor {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        match &self.pool {
-            None => items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
-            Some(_) if items.len() <= 1 => {
-                items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
-            }
-            Some(pool) => {
-                let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-                let f = &f;
-                pool.scoped(|scope| {
-                    for ((i, item), slot) in items.iter().enumerate().zip(out.iter_mut()) {
-                        scope.execute(move || *slot = Some(f(i, item)));
-                    }
-                });
-                out.into_iter()
-                    .map(|r| r.expect("scoped task completed"))
-                    .collect()
-            }
+        if self.inline_only() || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
+        let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        self.run_mut(&mut out, |i, slot| *slot = Some(f(i, &items[i])));
+        out.into_iter()
+            .map(|r| r.expect("broadcast task completed"))
+            .collect()
     }
 
     /// Apply `f` to every item in place. Same ordering guarantee as
@@ -129,26 +148,27 @@ impl Executor {
         T: Send,
         F: Fn(usize, &mut T) + Sync,
     {
-        match &self.pool {
-            None => {
-                for (i, t) in items.iter_mut().enumerate() {
-                    f(i, t);
-                }
+        if self.inline_only() || items.len() <= 1 {
+            for (i, t) in items.iter_mut().enumerate() {
+                f(i, t);
             }
-            Some(_) if items.len() <= 1 => {
-                for (i, t) in items.iter_mut().enumerate() {
-                    f(i, t);
-                }
-            }
-            Some(pool) => {
-                let f = &f;
-                pool.scoped(|scope| {
-                    for (i, item) in items.iter_mut().enumerate() {
-                        scope.execute(move || f(i, item));
-                    }
-                });
-            }
+            return;
         }
+        let pool = self.pool.as_ref().expect("inline_only is false");
+        // Hand each claimed index a disjoint `&mut` into the slice. The
+        // wrapper restores `Sync` for the raw base pointer; soundness
+        // rests on `run_indexed` claiming each index exactly once.
+        struct Base<T>(*mut T);
+        unsafe impl<T: Send> Sync for Base<T> {}
+        let base = Base(items.as_mut_ptr());
+        let f = &f;
+        pool.run_indexed(items.len(), &move |i| {
+            let base = &base;
+            // SAFETY: `i < items.len()` and each index is claimed by
+            // exactly one worker, so this `&mut` aliases nothing.
+            let item = unsafe { &mut *base.0.add(i) };
+            f(i, item);
+        });
     }
 }
 
@@ -208,6 +228,16 @@ mod tests {
         assert_eq!(Executor::new(ExecMode::Threads(1)).threads(), 1);
         assert_eq!(Executor::new(ExecMode::Threads(0)).threads(), 1);
         assert_eq!(Executor::new(ExecMode::Threads(2)).threads(), 2);
+    }
+
+    #[test]
+    fn parallelism_clamps_to_host_cores() {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(Executor::new(ExecMode::Sequential).parallelism(), 1);
+        assert_eq!(Executor::new(ExecMode::Threads(2)).parallelism(), 2.min(host));
+        let wide = Executor::new(ExecMode::Threads(1024));
+        assert_eq!(wide.parallelism(), host, "oversubscription is clamped");
+        assert_eq!(wide.threads(), 1024, "threads() still reports the request");
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub mod cluster;
 pub mod config;
 pub mod dist;
 pub mod exec;
+#[cfg(feature = "pass-count")]
+pub mod passes;
 
 /// With `alloc-count` enabled, every crate in the workspace that links
 /// this one gets the counting allocator installed process-wide, so the

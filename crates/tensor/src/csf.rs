@@ -13,6 +13,7 @@
 //! ([`CsfTensor::set_values`]) while the index tree is built once.
 
 use crate::coo::CooTensor;
+use crate::kruskal::KruskalTensor;
 use crate::{Result, TensorError};
 use distenc_linalg::Mat;
 
@@ -37,6 +38,10 @@ pub struct CsfTensor {
     /// `leaf_of_entry[e]` = leaf slot of the `e`-th entry of the *sorted*
     /// source tensor (used by [`CsfTensor::set_values`]).
     source_perm: Vec<usize>,
+    /// Inverse of `source_perm`: `leaf_src[leaf]` = source entry of that
+    /// leaf (the construction-time sort permutation, used by the fused
+    /// walk to read observed values and write fresh residual values).
+    leaf_src: Vec<usize>,
 }
 
 impl CsfTensor {
@@ -119,6 +124,7 @@ impl CsfTensor {
             levels,
             values,
             source_perm,
+            leaf_src: perm,
         })
     }
 
@@ -199,6 +205,7 @@ impl CsfTensor {
                 self.shape[root]
             )));
         }
+        crate::record_entry_sweep();
         h.fill(0.0);
         let mut scratch = vec![0.0; rank];
         for (node, _) in self.levels[0].ids.iter().enumerate() {
@@ -249,7 +256,139 @@ impl CsfTensor {
             .sum();
         level_bytes
             + self.values.len() * std::mem::size_of::<f64>()
-            + self.source_perm.len() * std::mem::size_of::<usize>()
+            + (self.source_perm.len() + self.leaf_src.len()) * std::mem::size_of::<usize>()
+    }
+
+    /// Fused residual-refresh + root-mode MTTKRP in one tree walk (the
+    /// CSF counterpart of [`crate::fused::fused_mttkrp_refresh_into`]):
+    /// at each leaf, evaluate the model at the leaf's full index tuple,
+    /// write the fresh residual value into both this tree's leaves and
+    /// `e` (entry order), and accumulate the leaf's `H` contribution.
+    /// Returns `‖E‖²_F` as the flat fold over `e`'s refreshed values.
+    ///
+    /// Bit-exactness: the walk is the exact traversal of
+    /// [`CsfTensor::mttkrp_root_into`] and the per-leaf evaluation is a
+    /// literal [`KruskalTensor::eval`] call on the reconstructed index
+    /// tuple, so the result is bit-identical to
+    /// `set_values(residual) + mttkrp_root_into` — only the separate
+    /// passes disappear. Like the unfused walk, the per-level
+    /// accumulators (plus one index buffer here) are the CSF path's
+    /// documented allocation exemption.
+    pub fn fused_mttkrp_refresh_root_into(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        e: &mut CooTensor,
+        h: &mut Mat,
+    ) -> Result<f64> {
+        let factors = model.factors();
+        if factors.len() != self.order() {
+            return Err(TensorError::ShapeMismatch("one factor per mode".into()));
+        }
+        let rank = model.rank();
+        for (m, f) in factors.iter().enumerate() {
+            if f.cols() != rank || f.rows() != self.shape[m] {
+                return Err(TensorError::ShapeMismatch("factor shape mismatch".into()));
+            }
+        }
+        if observed.nnz() != self.values.len() || observed.shape() != self.shape {
+            return Err(TensorError::ShapeMismatch(
+                "observed tensor does not match the support this CSF was built from".into(),
+            ));
+        }
+        if e.nnz() != observed.nnz() || e.shape() != observed.shape() {
+            return Err(TensorError::ShapeMismatch(
+                "fused refresh requires a residual sharing the observed support".into(),
+            ));
+        }
+        let root = self.root_mode();
+        if h.shape() != (self.shape[root], rank) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mttkrp output is {:?}, want ({}, {rank})",
+                h.shape(),
+                self.shape[root]
+            )));
+        }
+        crate::record_entry_sweep();
+        h.fill(0.0);
+        let order = self.shape.len();
+        let mut walk = FusedWalk {
+            levels: &self.levels,
+            mode_order: &self.mode_order,
+            values: &mut self.values,
+            leaf_src: &self.leaf_src,
+            observed,
+            model,
+            e_vals: e.values_mut(),
+            idx: vec![0; order],
+            rank,
+        };
+        let mut scratch = vec![0.0; rank];
+        for node in 0..walk.levels[0].ids.len() {
+            let i = walk.levels[0].ids[node];
+            walk.idx[root] = i;
+            scratch.iter_mut().for_each(|s| *s = 0.0);
+            walk.descend(1, node, &mut scratch);
+            for (o, &s) in h.row_mut(i).iter_mut().zip(&scratch) {
+                *o += s;
+            }
+        }
+        drop(walk);
+        Ok(e.frob_norm_sq())
+    }
+}
+
+/// Borrow bundle for the fused CSF walk: disjoint field borrows of the
+/// tree (read levels / write leaf values) plus the solver's buffers.
+struct FusedWalk<'a> {
+    levels: &'a [Level],
+    mode_order: &'a [usize],
+    values: &'a mut [f64],
+    leaf_src: &'a [usize],
+    observed: &'a CooTensor,
+    model: &'a KruskalTensor,
+    e_vals: &'a mut [f64],
+    /// Index tuple of the current root-to-leaf path, by mode number.
+    idx: Vec<usize>,
+    rank: usize,
+}
+
+impl FusedWalk<'_> {
+    /// Mirror of [`CsfTensor::accumulate`] that refreshes leaf values in
+    /// the same traversal (see `fused_mttkrp_refresh_root_into`).
+    fn descend(&mut self, level: usize, node: usize, out: &mut [f64]) {
+        let mode = self.mode_order[level];
+        let (start, end) = {
+            let lv = &self.levels[level];
+            (lv.ptr[node], lv.ptr[node + 1])
+        };
+        if level + 1 == self.levels.len() {
+            // Leaf level: children are single entries.
+            for c in start..end {
+                let id = self.levels[level].ids[c];
+                self.idx[mode] = id;
+                let src = self.leaf_src[c];
+                let val = self.observed.value(src) - self.model.eval(&self.idx);
+                self.values[c] = val;
+                self.e_vals[src] = val;
+                let row = self.model.factors()[mode].row(id);
+                for (o, &a) in out.iter_mut().zip(row) {
+                    *o += val * a;
+                }
+            }
+            return;
+        }
+        let mut child_acc = vec![0.0; self.rank];
+        for c in start..end {
+            let id = self.levels[level].ids[c];
+            self.idx[mode] = id;
+            child_acc.iter_mut().for_each(|s| *s = 0.0);
+            self.descend(level + 1, c, &mut child_acc);
+            let row = self.model.factors()[mode].row(id);
+            for ((o, &a), &s) in out.iter_mut().zip(row).zip(&child_acc) {
+                *o += a * s;
+            }
+        }
     }
 }
 
@@ -369,5 +508,61 @@ mod tests {
         let model = KruskalTensor::random(&[3, 3, 3], 2, 2);
         let h = csf.mttkrp_root(model.factors()).unwrap();
         assert_eq!(h.frob_norm(), 0.0);
+    }
+
+    #[test]
+    fn fused_root_walk_is_bit_identical_to_set_values_plus_mttkrp() {
+        use crate::residual::residual;
+        for (shape, nnz) in [(vec![12usize, 9, 7], 300), (vec![6, 5, 4, 3], 200)] {
+            let coo = random_coo(&shape, nnz, 1);
+            for &rank in &[1usize, 3, 8, 16, 17] {
+                let model = KruskalTensor::random(&shape, rank, 2 + rank as u64);
+                for mode in 0..shape.len() {
+                    // Unfused sequence: refresh residual, push values into
+                    // the tree, walk.
+                    let fresh = residual(&coo, &model).unwrap();
+                    let mut want_csf = CsfTensor::for_mode(&coo, mode).unwrap();
+                    want_csf.set_values(&fresh).unwrap();
+                    let want_h = want_csf.mttkrp_root(model.factors()).unwrap();
+                    let want_f = fresh.frob_norm_sq();
+                    // Fused walk from stale values.
+                    let mut csf = CsfTensor::for_mode(&coo, mode).unwrap();
+                    let mut e = coo.clone(); // stale
+                    let mut h = Mat::random(shape[mode], rank, 9); // dirty
+                    let f = csf
+                        .fused_mttkrp_refresh_root_into(&coo, &model, &mut e, &mut h)
+                        .unwrap();
+                    assert_eq!(e, fresh, "rank {rank} mode {mode}");
+                    assert_eq!(h.as_slice(), want_h.as_slice(), "rank {rank} mode {mode}");
+                    assert_eq!(f.to_bits(), want_f.to_bits());
+                    // The tree's own leaves were refreshed too: a later
+                    // unfused walk sees the same values.
+                    let again = csf.mttkrp_root(model.factors()).unwrap();
+                    assert_eq!(again.as_slice(), want_h.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_root_walk_rejects_mismatches() {
+        let coo = random_coo(&[5, 5, 5], 40, 7);
+        let model = KruskalTensor::random(&[5, 5, 5], 3, 1);
+        let mut csf = CsfTensor::for_mode(&coo, 0).unwrap();
+        let mut h = Mat::zeros(5, 3);
+        let mut wrong_e = CooTensor::new(vec![5, 5, 5]);
+        assert!(csf
+            .fused_mttkrp_refresh_root_into(&coo, &model, &mut wrong_e, &mut h)
+            .is_err());
+        let other = random_coo(&[5, 5, 5], 30, 8);
+        let mut e = other.clone();
+        assert!(csf
+            .fused_mttkrp_refresh_root_into(&other, &model, &mut e, &mut h)
+            .is_err());
+        let mut e = coo.clone();
+        let mut small = Mat::zeros(4, 3);
+        assert!(csf
+            .fused_mttkrp_refresh_root_into(&coo, &model, &mut e, &mut small)
+            .is_err());
     }
 }

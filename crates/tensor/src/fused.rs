@@ -1,0 +1,433 @@
+//! Fused residual-refresh + MTTKRP: one pass over the nonzeros.
+//!
+//! The unfused solver iteration sweeps the entry list `N + 1` times: one
+//! `sparse_mttkrp` per mode plus a full residual refresh that re-evaluates
+//! the Kruskal model at every nonzero (Eq. 14, `O(nnz·N·R)`). But the
+//! refresh and an MTTKRP against the *same* model load the exact same
+//! factor rows per entry — so this module computes, in a single
+//! traversal:
+//!
+//! 1. the fresh residual values `E = Ω ∗ (T − [[A⁽¹⁾…A⁽ᴺ⁾]])`,
+//! 2. the running train-RMSE statistic `‖E‖²_F`, and
+//! 3. the mode-`n` MTTKRP `H = E₍ₙ₎U⁽ⁿ⁾` against those fresh values,
+//!
+//! eliminating the separate refresh pass (`N+1 → N` sweeps per
+//! iteration; see DESIGN.md §11 for how the solver schedules this at the
+//! old refresh's position and consumes `H` at the next iteration's
+//! mode-0 step).
+//!
+//! **Accumulation-order guarantee.** Every number here is produced by the
+//! exact operation sequence of the unfused kernels, so results are
+//! *bit*-identical, not approximately equal:
+//!
+//! * residual values replicate [`KruskalTensor::eval`]'s fold
+//!   (`rr`-outer, modes-inner, all modes ascending);
+//! * the MTTKRP contribution starts a **separate** fold from the fresh
+//!   value (`scratch = e`, then `⊛` rows `k ≠ mode` ascending) — reusing
+//!   the eval fold's partial products would change association and hence
+//!   bits;
+//! * `‖E‖²_F` is the flat left fold `Σ eᵢ²` in entry order, matching
+//!   [`CooTensor::frob_norm_sq`];
+//! * the threaded variant reuses the workspace's row-disjoint buckets
+//!   (original entry order within each bucket), so each output row and
+//!   each entry sees the sequential order regardless of thread count.
+//!
+//! Rank specialization goes through [`dispatch_rank`], the same dispatch
+//! point `mttkrp_blocked_into` uses: R ∈ {8, 16} run monomorphized bodies
+//! with stack scratch, everything else the dynamic body — same operation
+//! sequence, so dispatch never changes a bit.
+
+use crate::coo::CooTensor;
+use crate::kruskal::KruskalTensor;
+use crate::mttkrp::{dispatch_rank, validate, MttkrpWorkspace, RankKernel};
+use crate::{Result, TensorError};
+use distenc_dataflow::Executor;
+use distenc_linalg::Mat;
+
+/// Bitwise replica of [`KruskalTensor::eval`]'s fold (`rr`-outer,
+/// modes-inner over **all** modes ascending). Kept as a free function so
+/// the rank-specialized bodies inline it with a constant trip count.
+#[inline(always)]
+fn eval_model(factors: &[Mat], idx: &[usize], r: usize) -> f64 {
+    let mut acc = 0.0;
+    for rr in 0..r {
+        let mut prod = 1.0;
+        for (f, &i) in factors.iter().zip(idx) {
+            prod *= f.row(i)[rr];
+        }
+        acc += prod;
+    }
+    acc
+}
+
+/// Fused sweep over a flat entry range, accumulating `H` rows directly
+/// and the `‖E‖²` statistic in entry order. `scratch.len()` is the rank.
+/// Returns `Σ eᵢ²`.
+#[inline(always)]
+fn fused_sweep_flat(
+    observed: &CooTensor,
+    factors: &[Mat],
+    mode: usize,
+    vals: &mut [f64],
+    h: &mut Mat,
+    scratch: &mut [f64],
+) -> f64 {
+    let r = scratch.len();
+    h.fill(0.0);
+    let mut acc = 0.0;
+    for (pos, slot) in vals.iter_mut().enumerate() {
+        let idx = observed.index(pos);
+        let val = observed.value(pos) - eval_model(factors, idx, r);
+        *slot = val;
+        acc += val * val;
+        scratch.iter_mut().for_each(|s| *s = val);
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            let row = f.row(idx[k]);
+            for (s, &a) in scratch.iter_mut().zip(row) {
+                *s *= a;
+            }
+        }
+        let out = h.row_mut(idx[mode]);
+        for (o, &s) in out.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+    }
+    acc
+}
+
+/// Fused sweep over one workspace bucket: fresh values go to `vals`
+/// (bucket order — the caller scatters them back to entry positions),
+/// `H` contributions to the part's row slab. The `‖E‖²` fold happens
+/// after the scatter, on the flat value slice, so it is independent of
+/// the blocking. `scratch` is passed separately from the adapter so the
+/// rank-specialized bodies can substitute a stack array.
+#[inline(always)]
+fn fused_sweep_bucket(kernel: BucketFused<'_>, scratch: &mut [f64]) {
+    let BucketFused { observed, factors, mode, bucket, lo, slab, vals, .. } = kernel;
+    let r = scratch.len();
+    slab.fill(0.0);
+    for (slot, &pos) in vals.iter_mut().zip(bucket) {
+        let idx = observed.index(pos);
+        let val = observed.value(pos) - eval_model(factors, idx, r);
+        *slot = val;
+        scratch.iter_mut().for_each(|s| *s = val);
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            let row = f.row(idx[k]);
+            for (s, &a) in scratch.iter_mut().zip(row) {
+                *s *= a;
+            }
+        }
+        let out = slab.row_mut(idx[mode] - lo);
+        for (o, &s) in out.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+    }
+}
+
+/// [`RankKernel`] adapter for the flat fused sweep.
+struct FlatFused<'a> {
+    observed: &'a CooTensor,
+    factors: &'a [Mat],
+    mode: usize,
+    vals: &'a mut [f64],
+    h: &'a mut Mat,
+    scratch: &'a mut [f64],
+}
+
+impl RankKernel for FlatFused<'_> {
+    type Out = f64;
+
+    fn run_const<const R: usize>(self) -> f64 {
+        debug_assert_eq!(self.scratch.len(), R);
+        let mut scratch = [0.0f64; R];
+        fused_sweep_flat(self.observed, self.factors, self.mode, self.vals, self.h, &mut scratch)
+    }
+
+    fn run_dyn(self) -> f64 {
+        fused_sweep_flat(self.observed, self.factors, self.mode, self.vals, self.h, self.scratch)
+    }
+}
+
+/// [`RankKernel`] adapter for one bucket of the threaded fused sweep.
+struct BucketFused<'a> {
+    observed: &'a CooTensor,
+    factors: &'a [Mat],
+    mode: usize,
+    bucket: &'a [usize],
+    lo: usize,
+    slab: &'a mut Mat,
+    vals: &'a mut [f64],
+    scratch: &'a mut [f64],
+}
+
+impl RankKernel for BucketFused<'_> {
+    type Out = ();
+
+    fn run_const<const R: usize>(self) {
+        debug_assert_eq!(self.scratch.len(), R);
+        let mut scratch = [0.0f64; R];
+        fused_sweep_bucket(self, &mut scratch);
+    }
+
+    fn run_dyn(mut self) {
+        let scratch = std::mem::take(&mut self.scratch);
+        fused_sweep_bucket(self, scratch);
+    }
+}
+
+fn check_io(observed: &CooTensor, e: &CooTensor, h: &Mat, mode: usize, r: usize) -> Result<()> {
+    if e.nnz() != observed.nnz() || e.shape() != observed.shape() {
+        return Err(TensorError::ShapeMismatch(
+            "fused refresh requires a residual sharing the observed support".into(),
+        ));
+    }
+    let dim = observed.shape()[mode];
+    if h.shape() != (dim, r) {
+        return Err(TensorError::ShapeMismatch(format!(
+            "fused mttkrp output is {:?}, want ({dim}, {r})",
+            h.shape()
+        )));
+    }
+    Ok(())
+}
+
+/// Allocating single-pass reference: returns `(E, H, ‖E‖²_F)` for
+/// mode `mode` in one traversal of `observed`'s entries. Bit-identical
+/// to `residual` + `mttkrp` + `frob_norm_sq` run separately (see module
+/// docs); tests pin that identity.
+pub fn fused_mttkrp_refresh(
+    observed: &CooTensor,
+    model: &KruskalTensor,
+    mode: usize,
+) -> Result<(CooTensor, Mat, f64)> {
+    validate(observed, model.factors(), mode)?;
+    crate::record_entry_sweep();
+    let r = model.rank();
+    let mut e = observed.clone();
+    let mut h = Mat::zeros(observed.shape()[mode], r);
+    let mut scratch = vec![0.0; r];
+    let frob = dispatch_rank(
+        r,
+        FlatFused {
+            observed,
+            factors: model.factors(),
+            mode,
+            vals: e.values_mut(),
+            h: &mut h,
+            scratch: &mut scratch,
+        },
+    );
+    Ok((e, h, frob))
+}
+
+/// Allocation-free fused refresh + MTTKRP through a preallocated
+/// [`MttkrpWorkspace`] (bucketed for `ws.mode()`): refreshes `e`'s values
+/// in place, overwrites `h` with `E₍ₙ₎U⁽ⁿ⁾` against the fresh values, and
+/// returns `‖E‖²_F`. One entry sweep total.
+///
+/// Executors that can actually run buckets concurrently (see
+/// [`Executor::parallelism`]) take the bucket path: per-part row slabs
+/// plus per-part value carriers (sized on first use — the only allocation
+/// this kernel ever makes, amortized across all later calls), stitched
+/// and scattered back in fixed part order. Everything else takes the flat
+/// sweep. Both orders are the sequential order, so the choice is
+/// bit-invisible.
+pub fn fused_mttkrp_refresh_into(
+    observed: &CooTensor,
+    model: &KruskalTensor,
+    ws: &mut MttkrpWorkspace,
+    exec: &Executor,
+    e: &mut CooTensor,
+    h: &mut Mat,
+) -> Result<f64> {
+    let mode = ws.mode;
+    validate(observed, model.factors(), mode)?;
+    debug_assert_eq!(observed.nnz(), ws.nnz, "workspace built for a different support");
+    let r = model.rank();
+    check_io(observed, e, h, mode, r)?;
+    if ws.parts.first().is_some_and(|p| p.slab.cols() != r) {
+        return Err(TensorError::ShapeMismatch(format!(
+            "workspace slabs are rank {}, model is rank {r}",
+            ws.parts[0].slab.cols()
+        )));
+    }
+    crate::record_entry_sweep();
+    let factors = model.factors();
+    if exec.parallelism() <= 1 || ws.parts.len() <= 1 {
+        let scratch = &mut ws.parts[0].scratch;
+        return Ok(dispatch_rank(
+            r,
+            FlatFused { observed, factors, mode, vals: e.values_mut(), h, scratch },
+        ));
+    }
+    for part in &mut ws.parts {
+        if part.vals.len() != part.bucket.len() {
+            part.vals.resize(part.bucket.len(), 0.0);
+        }
+    }
+    exec.run_mut(&mut ws.parts, |_, part| {
+        dispatch_rank(
+            r,
+            BucketFused {
+                observed,
+                factors,
+                mode,
+                bucket: &part.bucket,
+                lo: part.lo,
+                slab: &mut part.slab,
+                vals: &mut part.vals,
+                scratch: &mut part.scratch,
+            },
+        );
+    });
+    let vals = e.values_mut();
+    for part in &ws.parts {
+        for (&pos, &v) in part.bucket.iter().zip(&part.vals) {
+            vals[pos] = v;
+        }
+    }
+    for part in &ws.parts {
+        h.as_mut_slice()[part.lo * r..(part.lo + part.slab.rows()) * r]
+            .copy_from_slice(part.slab.as_slice());
+    }
+    Ok(e.values().iter().map(|v| v * v).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttkrp::{mttkrp, mttkrp_blocked_into};
+    use crate::residual::residual;
+    use distenc_dataflow::{ExecMode, Executor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(shape: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = CooTensor::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> =
+                shape.iter().map(|&d| rng.random_range(0..d)).collect();
+            t.push(&idx, rng.random::<f64>() * 2.0 - 1.0).unwrap();
+        }
+        t.sort_dedup();
+        t
+    }
+
+    /// The unfused sequence the fused kernel must match bit-for-bit.
+    fn unfused(
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        mode: usize,
+    ) -> (CooTensor, Mat, f64) {
+        let e = residual(observed, model).unwrap();
+        let h = mttkrp(&e, model.factors(), mode).unwrap();
+        let frob = e.frob_norm_sq();
+        (e, h, frob)
+    }
+
+    #[test]
+    fn fused_reference_is_bit_identical_to_unfused_sequence() {
+        for &rank in &[1usize, 3, 8, 16, 17] {
+            for shape in [vec![7, 5, 4], vec![4, 3, 5, 2]] {
+                let x = random_coo(&shape, 60, 11 + rank as u64);
+                let model = KruskalTensor::random(&shape, rank, 3 + rank as u64);
+                for mode in 0..shape.len() {
+                    let (we, wh, wf) = unfused(&x, &model, mode);
+                    let (e, h, f) = fused_mttkrp_refresh(&x, &model, mode).unwrap();
+                    assert_eq!(e, we, "rank {rank} mode {mode}");
+                    assert_eq!(h.as_slice(), wh.as_slice(), "rank {rank} mode {mode}");
+                    assert_eq!(f.to_bits(), wf.to_bits(), "rank {rank} mode {mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_into_matches_reference_across_blockings_and_executors() {
+        let shape = [13, 7, 5];
+        let x = random_coo(&shape, 150, 4);
+        let seq = Executor::new(ExecMode::Sequential);
+        let par = Executor::new(ExecMode::Threads(3));
+        for &rank in &[1usize, 3, 8, 16, 17] {
+            let model = KruskalTensor::random(&shape, rank, 40 + rank as u64);
+            for (mode, &dim) in shape.iter().enumerate() {
+                let (we, wh, wf) = unfused(&x, &model, mode);
+                let cuts: Vec<Vec<usize>> = vec![
+                    vec![dim],
+                    vec![dim / 2, dim],
+                    vec![0, 1, dim / 3, dim / 2, dim, dim],
+                ];
+                for boundaries in &cuts {
+                    for exec in [&seq, &par] {
+                        let mut ws =
+                            MttkrpWorkspace::new(&x, mode, boundaries, rank).unwrap();
+                        let mut e = x.clone(); // stale values on purpose
+                        let mut h = Mat::random(dim, rank, 9); // dirty on purpose
+                        // Twice through one workspace: reuse must be clean.
+                        for _ in 0..2 {
+                            let f = fused_mttkrp_refresh_into(
+                                &x, &model, &mut ws, exec, &mut e, &mut h,
+                            )
+                            .unwrap();
+                            assert_eq!(e, we, "rank {rank} mode {mode} cuts {boundaries:?}");
+                            assert_eq!(h.as_slice(), wh.as_slice());
+                            assert_eq!(f.to_bits(), wf.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_h_equals_blocked_mttkrp_against_fresh_residual() {
+        // The H the solver stashes must be interchangeable with the
+        // mode-0 `mttkrp_blocked_into` it replaces.
+        let shape = [12, 10, 8];
+        let x = random_coo(&shape, 200, 7);
+        let model = KruskalTensor::random(&shape, 8, 5);
+        let exec = Executor::new(ExecMode::Threads(4));
+        let boundaries = vec![3, 7, 12];
+        let mut ws = MttkrpWorkspace::new(&x, 0, &boundaries, 8).unwrap();
+        let mut e = x.clone();
+        let mut h = Mat::zeros(12, 8);
+        fused_mttkrp_refresh_into(&x, &model, &mut ws, &exec, &mut e, &mut h).unwrap();
+        let mut ws2 = MttkrpWorkspace::new(&x, 0, &boundaries, 8).unwrap();
+        let mut h2 = Mat::zeros(12, 8);
+        mttkrp_blocked_into(&e, model.factors(), &mut ws2, &exec, &mut h2).unwrap();
+        assert_eq!(h.as_slice(), h2.as_slice());
+    }
+
+    #[test]
+    fn fused_into_rejects_mismatched_io() {
+        let shape = [6, 5, 4];
+        let x = random_coo(&shape, 30, 2);
+        let model = KruskalTensor::random(&shape, 3, 2);
+        let exec = Executor::new(ExecMode::Sequential);
+        let mut ws = MttkrpWorkspace::new(&x, 0, &[6], 3).unwrap();
+        // Wrong residual support.
+        let mut wrong_e = CooTensor::new(vec![6, 5, 4]);
+        let mut h = Mat::zeros(6, 3);
+        assert!(fused_mttkrp_refresh_into(&x, &model, &mut ws, &exec, &mut wrong_e, &mut h)
+            .is_err());
+        // Wrong output shape.
+        let mut e = x.clone();
+        let mut small = Mat::zeros(5, 3);
+        assert!(
+            fused_mttkrp_refresh_into(&x, &model, &mut ws, &exec, &mut e, &mut small).is_err()
+        );
+        // Workspace rank mismatch.
+        let model4 = KruskalTensor::random(&shape, 4, 2);
+        let mut h4 = Mat::zeros(6, 4);
+        assert!(
+            fused_mttkrp_refresh_into(&x, &model4, &mut ws, &exec, &mut e, &mut h4).is_err()
+        );
+    }
+}

@@ -27,6 +27,7 @@
 pub mod coo;
 pub mod csf;
 pub mod dense;
+pub mod fused;
 pub mod io;
 pub mod khatri_rao;
 pub mod kruskal;
@@ -39,6 +40,16 @@ pub use coo::CooTensor;
 pub use csf::CsfTensor;
 pub use dense::DenseTensor;
 pub use kruskal::KruskalTensor;
+
+/// One tick on the pass-count instrument per full entry-list sweep (see
+/// `distenc_dataflow::passes`); compiles to nothing without the
+/// `pass-count` feature. Called once per kernel invocation — never per
+/// thread or chunk — so counts are host-independent.
+#[inline]
+pub(crate) fn record_entry_sweep() {
+    #[cfg(feature = "pass-count")]
+    distenc_dataflow::passes::record_sweep();
+}
 
 /// Errors produced by tensor operations.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,10 +1,43 @@
 //! MTTKRP — matricized tensor times Khatri-Rao product — and the Gram
 //! product, the two kernels §III-C builds DisTenC's factor update from.
+//!
+//! This module also owns the workspace's **rank-specialization dispatch
+//! point** ([`dispatch_rank`]): per-entry sweeps run a monomorphized body
+//! with `[f64; R]` stack scratch for R ∈ {8, 16} and a dynamic-rank body
+//! otherwise. Both bodies share one implementation
+//! ([`sweep_bucket_entries`]) so they execute the identical operation
+//! sequence — specialization changes compile-time knowledge (constant
+//! trip counts, stack scratch), never a single bit of the result. The
+//! fused kernels in [`crate::fused`] dispatch through the same point.
 
 use crate::coo::CooTensor;
 use crate::{Result, TensorError};
 use distenc_dataflow::Executor;
 use distenc_linalg::Mat;
+
+/// A kernel body that can run with a compile-time rank (`run_const`,
+/// `R` = the factor rank) or a runtime rank (`run_dyn`). Implementations
+/// must perform the identical operation sequence in both so dispatch is
+/// bit-invisible.
+pub(crate) trait RankKernel {
+    /// Result of the sweep.
+    type Out;
+    /// Monomorphized body; only called with `R` equal to the actual rank.
+    fn run_const<const R: usize>(self) -> Self::Out;
+    /// Fallback body for unspecialized ranks.
+    fn run_dyn(self) -> Self::Out;
+}
+
+/// The one rank-specialization dispatch point (see module docs). Shared
+/// by [`mttkrp_blocked_into`] and the fused kernels.
+#[inline]
+pub(crate) fn dispatch_rank<K: RankKernel>(rank: usize, kernel: K) -> K::Out {
+    match rank {
+        8 => kernel.run_const::<8>(),
+        16 => kernel.run_const::<16>(),
+        _ => kernel.run_dyn(),
+    }
+}
 
 /// Row-wise MTTKRP (Eq. 10/11): `H = X₍ₙ₎ U⁽ⁿ⁾` computed directly from COO
 /// entries without materializing `U⁽ⁿ⁾`:
@@ -15,6 +48,7 @@ use distenc_linalg::Mat;
 /// granularity of SPLATT the paper adopts.
 pub fn mttkrp(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<Mat> {
     validate(x, factors, mode)?;
+    crate::record_entry_sweep();
     let r = factors[0].cols();
     let mut h = Mat::zeros(x.shape()[mode], r);
     let mut scratch = vec![0.0; r];
@@ -70,6 +104,7 @@ pub fn mttkrp_blocked(
         )));
     }
     let r = factors[0].cols();
+    crate::record_entry_sweep();
     // Bucket entry positions by owning part. The forward scan keeps each
     // bucket in original entry order — the load-bearing step for
     // bit-exactness (see above).
@@ -169,16 +204,20 @@ pub fn gram_product_into(grams: &[Mat], mode: usize, out: &mut Mat) -> Result<()
 /// was built for; using it with a tensor whose entry positions differ
 /// from the construction-time tensor is a logic error (debug-asserted).
 pub struct MttkrpWorkspace {
-    mode: usize,
-    nnz: usize,
-    parts: Vec<MttkrpPart>,
+    pub(crate) mode: usize,
+    pub(crate) nnz: usize,
+    pub(crate) parts: Vec<MttkrpPart>,
 }
 
-struct MttkrpPart {
-    bucket: Vec<usize>,
-    lo: usize,
-    slab: Mat,
-    scratch: Vec<f64>,
+pub(crate) struct MttkrpPart {
+    pub(crate) bucket: Vec<usize>,
+    pub(crate) lo: usize,
+    pub(crate) slab: Mat,
+    pub(crate) scratch: Vec<f64>,
+    /// Fresh residual values in bucket order, used only by the threaded
+    /// fused kernel (`crate::fused`) to carry per-entry results out of
+    /// the parallel region. Empty until the first fused call sizes it.
+    pub(crate) vals: Vec<f64>,
 }
 
 impl MttkrpWorkspace {
@@ -215,6 +254,7 @@ impl MttkrpWorkspace {
                 lo: starts[p],
                 slab: Mat::zeros(boundaries[p] - starts[p], r),
                 scratch: vec![0.0; r],
+                vals: Vec::new(),
             })
             .collect();
         Ok(MttkrpWorkspace { mode, nnz: x.nnz(), parts })
@@ -226,12 +266,89 @@ impl MttkrpWorkspace {
     }
 }
 
+/// The per-bucket accumulation loop shared by every rank variant of the
+/// blocked MTTKRP: exactly the loop of the allocating [`mttkrp_blocked`],
+/// with the scratch vector supplied by the caller (a `[f64; R]` stack
+/// array under [`dispatch_rank`] specialization, the workspace's heap
+/// vector otherwise). `#[inline(always)]` so the constant scratch length
+/// propagates into the loop trip counts.
+#[inline(always)]
+pub(crate) fn sweep_bucket_entries(
+    x: &CooTensor,
+    factors: &[Mat],
+    mode: usize,
+    bucket: &[usize],
+    lo: usize,
+    slab: &mut Mat,
+    scratch: &mut [f64],
+) {
+    slab.fill(0.0);
+    for &pos in bucket {
+        let idx = x.index(pos);
+        let v = x.value(pos);
+        scratch.iter_mut().for_each(|s| *s = v);
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            let row = f.row(idx[k]);
+            for (s, &a) in scratch.iter_mut().zip(row) {
+                *s *= a;
+            }
+        }
+        let out = slab.row_mut(idx[mode] - lo);
+        for (o, &s) in out.iter_mut().zip(scratch.iter()) {
+            *o += s;
+        }
+    }
+}
+
+/// [`RankKernel`] adapter running [`sweep_bucket_entries`] over one
+/// workspace part.
+struct BucketSweep<'a> {
+    x: &'a CooTensor,
+    factors: &'a [Mat],
+    mode: usize,
+    part: &'a mut MttkrpPart,
+}
+
+impl RankKernel for BucketSweep<'_> {
+    type Out = ();
+
+    fn run_const<const R: usize>(self) {
+        debug_assert_eq!(self.part.scratch.len(), R);
+        let mut scratch = [0.0f64; R];
+        sweep_bucket_entries(
+            self.x,
+            self.factors,
+            self.mode,
+            &self.part.bucket,
+            self.part.lo,
+            &mut self.part.slab,
+            &mut scratch,
+        );
+    }
+
+    fn run_dyn(self) {
+        sweep_bucket_entries(
+            self.x,
+            self.factors,
+            self.mode,
+            &self.part.bucket,
+            self.part.lo,
+            &mut self.part.slab,
+            &mut self.part.scratch,
+        );
+    }
+}
+
 /// [`mttkrp_blocked`] writing into a caller-owned `h` through a
 /// preallocated [`MttkrpWorkspace`] — per-part slabs are zeroed and
 /// refilled with the exact accumulation loop of the allocating version,
 /// then stitched into `h` in fixed part order, so the result is
-/// bit-identical and the steady state allocates nothing (the threaded
-/// executor boxes one job per part; the sequential one is a plain loop).
+/// bit-identical and the steady state allocates nothing (dispatch to the
+/// threaded executor shares one borrowed closure — no job boxes; the
+/// sequential one is a plain loop).
 pub fn mttkrp_blocked_into(
     x: &CooTensor,
     factors: &[Mat],
@@ -250,26 +367,9 @@ pub fn mttkrp_blocked_into(
             h.shape()
         )));
     }
+    crate::record_entry_sweep();
     exec.run_mut(&mut ws.parts, |_, part| {
-        part.slab.fill(0.0);
-        for &pos in &part.bucket {
-            let idx = x.index(pos);
-            let v = x.value(pos);
-            part.scratch.iter_mut().for_each(|s| *s = v);
-            for (k, f) in factors.iter().enumerate() {
-                if k == mode {
-                    continue;
-                }
-                let row = f.row(idx[k]);
-                for (s, &a) in part.scratch.iter_mut().zip(row) {
-                    *s *= a;
-                }
-            }
-            let out = part.slab.row_mut(idx[mode] - part.lo);
-            for (o, &s) in out.iter_mut().zip(&part.scratch) {
-                *o += s;
-            }
-        }
+        dispatch_rank(r, BucketSweep { x, factors, mode, part });
     });
     for part in &ws.parts {
         h.as_mut_slice()[part.lo * r..(part.lo + part.slab.rows()) * r]
@@ -278,7 +378,7 @@ pub fn mttkrp_blocked_into(
     Ok(())
 }
 
-fn validate(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<()> {
+pub(crate) fn validate(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<()> {
     if factors.len() != x.order() {
         return Err(TensorError::ShapeMismatch(format!(
             "{} factors for an order-{} tensor",

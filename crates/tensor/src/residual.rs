@@ -31,6 +31,7 @@ pub fn residual(observed: &CooTensor, model: &KruskalTensor) -> Result<CooTensor
             model.shape()
         )));
     }
+    crate::record_entry_sweep();
     let mut e = CooTensor::new(observed.shape().to_vec());
     e.reserve(observed.nnz());
     for (idx, v) in observed.iter() {
@@ -51,6 +52,7 @@ pub fn residual_into(
         *e = residual(observed, model)?;
         return Ok(());
     }
+    crate::record_entry_sweep();
     for i in 0..observed.nnz() {
         let idx = observed.index(i);
         let v = observed.value(i) - model.eval(idx);
@@ -83,7 +85,11 @@ pub fn residual_into_exec(
         }
         *e = observed.clone();
     }
-    let chunks = even_ranges(observed.nnz(), exec.threads() * 4);
+    crate::record_entry_sweep();
+    // Chunk by deliverable concurrency, not the configured thread count:
+    // oversplitting past the host's cores only adds dispatch overhead
+    // (any chunking is bit-exact, see above).
+    let chunks = even_ranges(observed.nnz(), exec.parallelism() * 4);
     let computed = exec.run(&chunks, |_, range| {
         range
             .clone()
@@ -110,10 +116,15 @@ struct ResidualChunk {
 }
 
 impl ResidualWorkspace {
-    /// Chunk `nnz` entries for `exec` (same `threads × 4` chunking as
-    /// [`residual_into_exec`]).
+    /// Chunk `nnz` entries for `exec` (same `parallelism × 4` chunking as
+    /// [`residual_into_exec`]). When the executor cannot actually run
+    /// chunks concurrently the refresh takes its flat sequential path, so
+    /// no buffers are reserved at all.
     pub fn new(nnz: usize, exec: &Executor) -> Self {
-        let jobs = even_ranges(nnz, exec.threads() * 4)
+        if exec.parallelism() <= 1 {
+            return ResidualWorkspace { jobs: Vec::new() };
+        }
+        let jobs = even_ranges(nnz, exec.parallelism() * 4)
             .into_iter()
             .map(|range| {
                 let len = range.len();
@@ -156,7 +167,8 @@ pub fn residual_refresh_exec(
             "residual refresh requires a residual sharing the observed support".into(),
         ));
     }
-    if exec.threads() <= 1 {
+    crate::record_entry_sweep();
+    if exec.parallelism() <= 1 {
         let vals = e.values_mut();
         for (i, v) in vals.iter_mut().enumerate() {
             *v = observed.value(i) - model.eval(observed.index(i));

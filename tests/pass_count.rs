@@ -1,0 +1,92 @@
+//! The pass-count gate: fusion saves exactly one sweep over the nonzeros
+//! per iteration (requires `--features pass-count`; without the feature
+//! this file compiles to nothing).
+//!
+//! Every entry-sweep kernel ticks `distenc_dataflow::passes` once per
+//! *invocation* — never per thread, chunk, or block — so the counts are
+//! identical on any host and under any `DISTENC_THREADS` setting. The
+//! contract (see `distenc-core`'s `solver` module docs): a steady-state
+//! iteration of an order-N solve sweeps the entry list
+//!
+//! * **N+1** times unfused — N MTTKRPs plus the residual refresh,
+//! * **N** times fused — N−1 MTTKRPs, one fused refresh+MTTKRP sweep, and
+//!   a mode-0 update served from the stash without touching the entries.
+//!
+//! Methodology mirrors `tests/alloc_budget.rs`: the solver is
+//! deterministic, so runs differing only in `max_iters` (2 vs 10) do
+//! identical setup; the sweep-count difference over the 8 extra
+//! iterations is exactly the per-iteration cost. One `#[test]` because
+//! the counter is process-global.
+
+#![cfg(feature = "pass-count")]
+
+use distenc::core::{AdmmConfig, AdmmSolver, DisTenC};
+use distenc::dataflow::passes;
+use distenc::dataflow::{Cluster, ClusterConfig};
+use distenc::tensor::{CooTensor, KruskalTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn planted(shape: &[usize], rank: usize, nnz: usize, seed: u64) -> CooTensor {
+    let truth = KruskalTensor::random(shape, rank, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a55);
+    let mut mask = CooTensor::new(shape.to_vec());
+    for _ in 0..nnz {
+        let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
+        mask.push(&idx, 1.0).unwrap();
+    }
+    mask.sort_dedup();
+    truth.eval_at(&mask).unwrap()
+}
+
+/// Entry sweeps per steady-state iteration of the host solver.
+fn host_sweeps_per_iter(observed: &CooTensor, cfg: &AdmmConfig) -> f64 {
+    let count = |iters: usize| {
+        let cfg = AdmmConfig { max_iters: iters, ..cfg.clone() };
+        let laps = vec![None; observed.order()];
+        let before = passes::sweeps();
+        let res = AdmmSolver::new(cfg).unwrap().solve(observed, &laps).unwrap();
+        assert_eq!(res.iterations, iters, "must not converge early");
+        passes::sweeps() - before
+    };
+    (count(10) - count(2)) as f64 / 8.0
+}
+
+/// Entry sweeps per steady-state iteration of the distributed solver.
+fn distenc_sweeps_per_iter(observed: &CooTensor, cfg: &AdmmConfig) -> f64 {
+    let count = |iters: usize| {
+        let cfg = AdmmConfig { max_iters: iters, ..cfg.clone() };
+        let laps = vec![None; observed.order()];
+        let cluster = Cluster::new(ClusterConfig::test(3).with_time_budget(None));
+        let before = passes::sweeps();
+        let res = DisTenC::new(&cluster, cfg).unwrap().solve(observed, &laps).unwrap();
+        assert_eq!(res.iterations, iters, "must not converge early");
+        passes::sweeps() - before
+    };
+    (count(10) - count(2)) as f64 / 8.0
+}
+
+#[test]
+fn fused_iterations_sweep_the_nonzeros_one_time_fewer() {
+    let base = AdmmConfig { rank: 3, tol: 1e-300, ..Default::default() };
+    let order3 = planted(&[14, 12, 10], 3, 600, 2);
+    let order4 = planted(&[9, 8, 7, 6], 3, 700, 3);
+
+    // --- Host solver, COO kernels. -----------------------------------
+    let fused = AdmmConfig { fused: true, ..base.clone() };
+    let plain = AdmmConfig { fused: false, ..base.clone() };
+    assert_eq!(host_sweeps_per_iter(&order3, &fused), 3.0, "order 3 fused");
+    assert_eq!(host_sweeps_per_iter(&order3, &plain), 4.0, "order 3 unfused");
+    assert_eq!(host_sweeps_per_iter(&order4, &fused), 4.0, "order 4 fused");
+    assert_eq!(host_sweeps_per_iter(&order4, &plain), 5.0, "order 4 unfused");
+
+    // --- Host solver, CSF tree walks. --------------------------------
+    let csf_fused = AdmmConfig { use_csf: true, ..fused.clone() };
+    let csf_plain = AdmmConfig { use_csf: true, ..plain.clone() };
+    assert_eq!(host_sweeps_per_iter(&order3, &csf_fused), 3.0, "CSF fused");
+    assert_eq!(host_sweeps_per_iter(&order3, &csf_plain), 4.0, "CSF unfused");
+
+    // --- Distributed solver, block-local kernels. --------------------
+    assert_eq!(distenc_sweeps_per_iter(&order3, &fused), 3.0, "distenc fused");
+    assert_eq!(distenc_sweeps_per_iter(&order3, &plain), 4.0, "distenc unfused");
+}

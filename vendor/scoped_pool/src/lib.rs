@@ -11,13 +11,21 @@
 //! Panic behavior: a panicking task does not kill its worker thread; the
 //! panic is caught, the scope is flagged, and `scoped` re-panics after all
 //! tasks of the scope have drained.
+//!
+//! Beyond the real crate's surface, this shim adds [`Pool::run_indexed`]:
+//! an allocation-free broadcast that runs one shared closure over an index
+//! range. Where `scoped` boxes one `Job` per task, `run_indexed` publishes
+//! a single borrowed closure through pool-resident state and lets workers
+//! claim indices with an atomic counter — zero heap traffic per dispatch,
+//! which is what keeps the solver's threaded steady state at 0 allocations
+//! per iteration (see `tests/alloc_budget.rs` at the workspace root).
 
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -27,9 +35,47 @@ use std::thread::JoinHandle;
 /// captures.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Wide pointer to the caller's broadcast closure with its borrow
+/// lifetime erased. Sound for the same reason `Scope::execute`'s
+/// transmute is: [`Pool::run_indexed`] blocks until every index has run,
+/// so the pointee outlives every dereference.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-call safe from any thread) and
+// `run_indexed` keeps it alive until the broadcast completes, so moving
+// the pointer between threads is sound.
+unsafe impl Send for TaskPtr {}
+
+/// An in-flight [`Pool::run_indexed`] broadcast: the shared closure plus
+/// the index range workers claim from `Queue::bc_next`.
+#[derive(Clone, Copy)]
+struct Broadcast {
+    task: TaskPtr,
+    count: usize,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+    /// Current broadcast, if any. At most one per pool; the publishing
+    /// caller removes is-some before `run_indexed` returns (the last
+    /// finishing worker clears it), so `Some` here always means live.
+    bc: Option<Broadcast>,
+}
+
 struct Queue {
-    jobs: Mutex<(VecDeque<Job>, bool)>, // (pending jobs, shutting down)
+    jobs: Mutex<State>,
     ready: Condvar,
+    /// Next broadcast index to claim. Lives in the pool (not per call) so
+    /// a dispatch allocates nothing.
+    bc_next: AtomicUsize,
+    /// Broadcast indices finished so far.
+    bc_done: AtomicUsize,
+    /// Whether any index of the current broadcast panicked.
+    bc_panicked: AtomicBool,
+    /// Signalled (under `jobs`) when a broadcast completes.
+    bc_complete: Condvar,
 }
 
 /// A fixed-size pool of reusable worker threads.
@@ -52,8 +98,12 @@ impl Pool {
     pub fn new(threads: usize) -> Pool {
         assert!(threads > 0, "pool needs at least one thread");
         let queue = Arc::new(Queue {
-            jobs: Mutex::new((VecDeque::new(), false)),
+            jobs: Mutex::new(State { jobs: VecDeque::new(), shutdown: false, bc: None }),
             ready: Condvar::new(),
+            bc_next: AtomicUsize::new(0),
+            bc_done: AtomicUsize::new(0),
+            bc_panicked: AtomicBool::new(false),
+            bc_complete: Condvar::new(),
         });
         let workers = (0..threads)
             .map(|i| {
@@ -107,13 +157,60 @@ impl Pool {
         }
         out
     }
+
+    /// Run `task(i)` for every `i in 0..count` across the pool's workers
+    /// without boxing anything: the closure is shared by reference and
+    /// workers claim indices from a pool-resident atomic counter. Blocks
+    /// until every index has run; re-panics if any index panicked.
+    ///
+    /// Each index is claimed by exactly one worker, which is what lets
+    /// callers hand out disjoint `&mut` access indexed by `i`.
+    ///
+    /// Concurrent `run_indexed` calls from *different* threads serialize
+    /// against each other (one broadcast in flight per pool). Calling it
+    /// from **inside** a pool task is unsupported and deadlocks: the
+    /// nested call would wait for a broadcast slot its own caller holds.
+    pub fn run_indexed(&self, count: usize, task: &(dyn Fn(usize) + Sync)) {
+        if count == 0 {
+            return;
+        }
+        let queue = &*self.queue;
+        {
+            let mut q = queue.jobs.lock().unwrap();
+            // Wait for any previous broadcast to finish (its last worker
+            // clears `bc` and signals `bc_complete`).
+            while q.bc.is_some() {
+                q = queue.bc_complete.wait(q).unwrap();
+            }
+            queue.bc_next.store(0, Ordering::SeqCst);
+            queue.bc_done.store(0, Ordering::SeqCst);
+            queue.bc_panicked.store(false, Ordering::SeqCst);
+            // SAFETY (lifetime erasure): this function blocks below until
+            // `bc` is cleared, which only happens once all `count` indices
+            // have run, so no worker dereferences the pointer after `task`
+            // dies.
+            let task = TaskPtr(unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(task)
+            });
+            q.bc = Some(Broadcast { task, count });
+        }
+        queue.ready.notify_all();
+        let mut q = queue.jobs.lock().unwrap();
+        while q.bc.is_some() {
+            q = queue.bc_complete.wait(q).unwrap();
+        }
+        drop(q);
+        if queue.bc_panicked.load(Ordering::SeqCst) {
+            panic!("scoped_pool: a broadcast task panicked");
+        }
+    }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
         {
             let mut q = self.queue.jobs.lock().unwrap();
-            q.1 = true;
+            q.shutdown = true;
         }
         self.queue.ready.notify_all();
         for w in self.workers.drain(..) {
@@ -122,21 +219,54 @@ impl Drop for Pool {
     }
 }
 
+/// Work a thread pulled off the queue: either a boxed scoped job or one
+/// claimed index of the current broadcast.
+enum Work {
+    Job(Job),
+    Bc { task: TaskPtr, index: usize, count: usize },
+}
+
 fn worker_loop(queue: &Queue) {
     loop {
-        let job = {
+        let work = {
             let mut q = queue.jobs.lock().unwrap();
             loop {
-                if let Some(job) = q.0.pop_front() {
-                    break job;
+                if let Some(bc) = q.bc {
+                    // The relaxed pre-check keeps an exhausted-but-live
+                    // broadcast from inflating `bc_next` on every wake.
+                    if queue.bc_next.load(Ordering::Relaxed) < bc.count {
+                        let index = queue.bc_next.fetch_add(1, Ordering::SeqCst);
+                        if index < bc.count {
+                            break Work::Bc { task: bc.task, index, count: bc.count };
+                        }
+                    }
                 }
-                if q.1 {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Work::Job(job);
+                }
+                if q.shutdown {
                     return; // shutting down and no work left
                 }
                 q = queue.ready.wait(q).unwrap();
             }
         };
-        job();
+        match work {
+            Work::Job(job) => job(),
+            Work::Bc { task, index, count } => {
+                // SAFETY: `run_indexed` blocks until `bc_done == count`,
+                // so the closure behind `task` is still alive here.
+                let f = unsafe { &*task.0 };
+                if catch_unwind(AssertUnwindSafe(|| f(index))).is_err() {
+                    queue.bc_panicked.store(true, Ordering::SeqCst);
+                }
+                if queue.bc_done.fetch_add(1, Ordering::SeqCst) + 1 == count {
+                    // Last index: retire the broadcast and wake both the
+                    // blocked caller and any caller queued for the slot.
+                    queue.jobs.lock().unwrap().bc = None;
+                    queue.bc_complete.notify_all();
+                }
+            }
+        }
     }
 }
 
@@ -193,7 +323,7 @@ impl<'scope> Scope<'_, 'scope> {
         };
         {
             let mut q = self.pool.queue.jobs.lock().unwrap();
-            q.0.push_back(wrapped);
+            q.jobs.push_back(wrapped);
         }
         self.pool.queue.ready.notify_one();
     }
@@ -285,5 +415,98 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn run_indexed_claims_each_index_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_indexed(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_borrows_stack_data_mutably() {
+        struct Ptr(*mut usize);
+        unsafe impl Sync for Ptr {}
+        let pool = Pool::new(3);
+        let mut slots = [0usize; 64];
+        let base = Ptr(slots.as_mut_ptr());
+        pool.run_indexed(slots.len(), &move |i| {
+            // SAFETY: each index is claimed exactly once, so the derived
+            // `&mut` references are disjoint.
+            let base = &base;
+            unsafe { *base.0.add(i) = i * i };
+        });
+        for (i, &s) in slots.iter().enumerate() {
+            assert_eq!(s, i * i);
+        }
+    }
+
+    #[test]
+    fn run_indexed_is_reusable_and_mixes_with_scoped() {
+        let pool = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..5 {
+            pool.run_indexed(10, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+            pool.scoped(|scope| {
+                scope.execute(|| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 5 * 11);
+    }
+
+    #[test]
+    fn run_indexed_zero_count_is_a_noop() {
+        let pool = Pool::new(2);
+        pool.run_indexed(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn run_indexed_propagates_panics_after_completion() {
+        let pool = Pool::new(2);
+        let done = AtomicUsize::new(0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(16, &|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(res.is_err(), "broadcast must re-panic");
+        assert_eq!(done.load(Ordering::SeqCst), 15);
+        // The pool survives for the next broadcast.
+        let ok = AtomicUsize::new(0);
+        pool.run_indexed(4, &|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn run_indexed_serializes_concurrent_broadcasts() {
+        let pool = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        pool.run_indexed(8, &|_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 25 * 8);
     }
 }
