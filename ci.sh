@@ -15,6 +15,16 @@ DISTENC_THREADS=1 cargo test -q
 echo "==> DISTENC_THREADS=4 cargo test -q"
 DISTENC_THREADS=4 cargo test -q
 
+# The streaming and live-swap contracts get named gates (they also run in
+# the sweeps above): warm re-solves must be bit-identical to solve_from on
+# the final tensor, and a model publish must never fail a concurrent read.
+# Both are exercised under each backend, like everything else.
+echo "==> DISTENC_THREADS=1 cargo test -q --test streaming_equivalence --test live_swap"
+DISTENC_THREADS=1 cargo test -q --test streaming_equivalence --test live_swap
+
+echo "==> DISTENC_THREADS=4 cargo test -q --test streaming_equivalence --test live_swap"
+DISTENC_THREADS=4 cargo test -q --test streaming_equivalence --test live_swap
+
 # The allocation-budget gate needs the counting global allocator, which
 # only exists behind the alloc-count feature; it runs the solver itself,
 # so it is kept out of the default feature set (and the two sweeps above).

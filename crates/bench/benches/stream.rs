@@ -1,0 +1,250 @@
+//! Streaming-completion benchmark: warm re-solve vs cold solve, and live
+//! model-swap behavior under concurrent load.
+//!
+//! Writes `BENCH_stream.json` at the repository root with two sections:
+//!
+//! * `warm_vs_cold` — time-to-target-RMSE after a delta batch of 0.1%,
+//!   1%, and 10% of nnz: a [`StreamingSolver`] that folds the batch in
+//!   and warm-restarts (previous factors + carried residual) against a
+//!   from-scratch [`AdmmSolver`] solve of the same final tensor. The
+//!   target is the worse of the two fully-converged training RMSEs (plus
+//!   2% slack), so both sides chase a goal both can reach; times come
+//!   from the solvers' own convergence traces.
+//! * `swap` — publish latency of [`LiveEngine`] (engine build + atomic
+//!   store) while reader threads run point queries nonstop, plus the
+//!   query throughput across the swap window and the failed-read count
+//!   (always zero; the readers assert it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distenc_core::{AdmmConfig, AdmmSolver};
+use distenc_serve::{EngineConfig, LiveEngine};
+use distenc_stream::{DeltaBatch, StreamingSolver};
+use distenc_tensor::{CooTensor, KruskalTensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHAPE: [usize; 3] = [60, 50, 40];
+const RANK: usize = 4;
+const BASE_NNZ: usize = 30_000;
+const FRACS: [(&str, f64); 3] =
+    [("delta_0.1pct", 0.001), ("delta_1pct", 0.01), ("delta_10pct", 0.10)];
+const SOLVE_ITERS: usize = 40;
+const REPS: usize = 5;
+
+/// The full observation pool: `BASE_NNZ` distinct cells of a planted
+/// rank-`RANK` tensor, as `(index, value)` in sorted order.
+fn observation_pool() -> Vec<(Vec<usize>, f64)> {
+    let truth = KruskalTensor::random(&SHAPE, RANK, 9);
+    let mut rng = StdRng::seed_from_u64(0x57e3);
+    let mut mask = CooTensor::new(SHAPE.to_vec());
+    for _ in 0..BASE_NNZ {
+        let idx: Vec<usize> = SHAPE.iter().map(|&d| rng.random_range(0..d)).collect();
+        mask.push(&idx, 1.0).unwrap();
+    }
+    mask.sort_dedup();
+    let full = truth.eval_at(&mask).unwrap();
+    (0..full.nnz()).map(|e| (full.index(e).to_vec(), full.value(e))).collect()
+}
+
+fn tensor_of(entries: &[(Vec<usize>, f64)]) -> CooTensor {
+    let mut t = CooTensor::new(SHAPE.to_vec());
+    for (idx, v) in entries {
+        t.push(idx, *v).unwrap();
+    }
+    t.sort_dedup();
+    t
+}
+
+fn cfg() -> AdmmConfig {
+    AdmmConfig { rank: RANK, max_iters: SOLVE_ITERS, tol: 1e-9, ..Default::default() }
+}
+
+/// Split the pool: the last `frac` of a shuffled order becomes the delta
+/// (arriving later), the rest is the base tensor.
+fn split(pool: &[(Vec<usize>, f64)], frac: f64) -> (CooTensor, Vec<(Vec<usize>, f64)>) {
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    let mut rng = StdRng::seed_from_u64((frac * 1e6) as u64 ^ 0xd317a);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    let n_delta = ((pool.len() as f64) * frac).round().max(1.0) as usize;
+    let (delta_ids, base_ids) = order.split_at(n_delta);
+    let base: Vec<_> = base_ids.iter().map(|&i| pool[i].clone()).collect();
+    let delta: Vec<_> = delta_ids.iter().map(|&i| pool[i].clone()).collect();
+    (tensor_of(&base), delta)
+}
+
+/// Median of `REPS` samples produced by `f` (None samples are dropped).
+fn median(mut f: impl FnMut() -> Option<f64>) -> Option<f64> {
+    let mut xs: Vec<f64> = (0..REPS).filter_map(|_| f()).collect();
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(xs[xs.len() / 2])
+}
+
+fn warm_vs_cold_rows() -> Vec<String> {
+    let pool = observation_pool();
+    let final_tensor = tensor_of(&pool);
+    FRACS
+        .iter()
+        .map(|&(label, frac)| {
+            let (base, delta) = split(&pool, frac);
+            let batch = DeltaBatch::try_new(
+                &SHAPE,
+                &[0, 0, 0],
+                delta.clone(),
+                vec![],
+            )
+            .unwrap();
+
+            // A converged streaming solver on the base tensor, reused
+            // (cloned via re-solve state) for each warm repetition.
+            let make_warm = || {
+                let mut s =
+                    StreamingSolver::new(base.clone(), vec![None, None, None], cfg()).unwrap();
+                s.solve().unwrap();
+                s
+            };
+
+            // Pick the target both sides can reach: the worse of the two
+            // fully-converged final RMSEs, with 2% slack.
+            let mut probe = make_warm();
+            probe.apply(&batch).unwrap();
+            let warm_final = probe.solve().unwrap().trace.final_rmse().unwrap();
+            let cold_final = AdmmSolver::new(cfg())
+                .unwrap()
+                .solve(&final_tensor, &[None, None, None])
+                .unwrap()
+                .trace
+                .final_rmse()
+                .unwrap();
+            let target = warm_final.max(cold_final) * 1.02;
+
+            let warm_s = median(|| {
+                let mut s = make_warm();
+                let t0 = Instant::now();
+                s.apply(&batch).unwrap();
+                let apply_s = t0.elapsed().as_secs_f64();
+                let r = s.solve().unwrap();
+                r.trace.time_to_rmse(target).map(|t| t + apply_s)
+            })
+            .expect("warm solver reached the target");
+            let cold_s = median(|| {
+                let r = AdmmSolver::new(cfg())
+                    .unwrap()
+                    .solve(&final_tensor, &[None, None, None])
+                    .unwrap();
+                r.trace.time_to_rmse(target)
+            })
+            .expect("cold solver reached the target");
+
+            format!(
+                "    \"{label}\": {{ \"delta_nnz\": {}, \"target_rmse\": {target:.6}, \"warm_ms_to_target\": {:.3}, \"cold_ms_to_target\": {:.3}, \"cold_over_warm\": {:.3} }}",
+                delta.len(),
+                warm_s * 1e3,
+                cold_s * 1e3,
+                cold_s / warm_s.max(1e-12),
+            )
+        })
+        .collect()
+}
+
+fn swap_row() -> String {
+    const SWAP_SHAPE: [usize; 3] = [200, 150, 100];
+    const PUBLISHES: usize = 8;
+    let models: Vec<KruskalTensor> =
+        (0..=PUBLISHES as u64).map(|g| KruskalTensor::random(&SWAP_SHAPE, RANK, 40 + g)).collect();
+    let live = Arc::new(LiveEngine::new(&models[0], EngineConfig::default()).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let failed = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let (live, stop, failed) = (Arc::clone(&live), Arc::clone(&stop), Arc::clone(&failed));
+            std::thread::spawn(move || {
+                let mut queries = 0u64;
+                let mut gens = std::collections::BTreeSet::new();
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let at = [i % SWAP_SHAPE[0], (i * 3) % SWAP_SHAPE[1], (i * 7) % SWAP_SHAPE[2]];
+                    match live.point(&at) {
+                        Ok(t) => {
+                            gens.insert(t.generation);
+                            queries += 1;
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    i += 1;
+                }
+                (queries, gens.len() as u64)
+            })
+        })
+        .collect();
+
+    let window = Instant::now();
+    let mut publish_us: Vec<u64> = (1..=PUBLISHES)
+        .map(|g| {
+            let t0 = Instant::now();
+            live.publish(&models[g]).unwrap();
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    let window_s = window.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    publish_us.sort_unstable();
+
+    let (mut queries, mut max_gens) = (0u64, 0u64);
+    for r in readers {
+        let (q, g) = r.join().unwrap();
+        queries += q;
+        max_gens = max_gens.max(g);
+    }
+    format!(
+        "  \"swap\": {{ \"shape\": {SWAP_SHAPE:?}, \"rank\": {RANK}, \"publishes\": {PUBLISHES}, \"median_publish_us\": {}, \"max_publish_us\": {}, \"queries_during_swap_window\": {queries}, \"queries_per_sec\": {:.0}, \"failed_reads\": {}, \"distinct_generations_observed\": {max_gens} }}",
+        publish_us[publish_us.len() / 2],
+        publish_us[publish_us.len() - 1],
+        queries as f64 / window_s.max(1e-9),
+        failed.load(Ordering::Relaxed),
+    )
+}
+
+fn bench_warm_resolve(c: &mut Criterion) {
+    let pool = observation_pool();
+    let (base, delta) = split(&pool, 0.01);
+    let batch = DeltaBatch::try_new(&SHAPE, &[0, 0, 0], delta, vec![]).unwrap();
+    let mut s = StreamingSolver::new(base, vec![None, None, None], cfg()).unwrap();
+    s.solve().unwrap();
+    s.set_budget(2, 1e-300).unwrap();
+    let mut applied = false;
+    c.bench_function("stream_warm_resolve_2iters", |b| {
+        b.iter(|| {
+            if !applied {
+                s.apply(&batch).unwrap();
+                applied = true;
+            }
+            s.solve().unwrap()
+        })
+    });
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let rows = warm_vs_cold_rows();
+    let json = format!(
+        "{{\n  \"workload\": {{ \"shape\": {SHAPE:?}, \"nnz\": {BASE_NNZ}, \"rank\": {RANK}, \"solve_iters\": {SOLVE_ITERS}, \"reps\": {REPS} }},\n  \"warm_vs_cold\": {{\n{}\n  }},\n{},\n  \"note\": \"warm = StreamingSolver: fold the delta into tensor+residual, restart ADMM from the previous factors; cold = AdmmSolver from random init on the same final tensor; times are median-of-{REPS} seconds-to-target-RMSE from the solvers' own traces (warm includes the delta apply); swap = LiveEngine publish latency (engine build + atomic handle store) under 4 reader threads, failed_reads asserted zero\"\n}}\n",
+        rows.join(",\n"),
+        swap_row(),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_stream.json");
+    std::fs::write(&path, &json).expect("write BENCH_stream.json");
+    eprintln!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_warm_resolve, emit_json);
+criterion_main!(benches);

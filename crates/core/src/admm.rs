@@ -87,6 +87,91 @@ impl AdmmSolver {
             start.elapsed().as_secs_f64()
         })
     }
+
+    /// Streaming completion step: a solve that accepts — and returns — a
+    /// [`ResidualHandoff`] so consecutive re-solves over a drifting
+    /// observation set never rebuild the residual from scratch.
+    ///
+    /// * `init = None` is a cold solve, identical to [`AdmmSolver::solve`]
+    ///   (bit-for-bit), that additionally hands the final residual out.
+    /// * `init = Some` with `carry = None` is [`AdmmSolver::solve_from`]:
+    ///   warm factors, residual rebuilt by the prologue.
+    /// * `init = Some` with `carry = Some` is the fully warm path: the
+    ///   carried residual values must be exactly `Ω∗(T − [[init…]])` on
+    ///   `observed`'s support (the invariant the streaming delta apply
+    ///   maintains), and the prologue refresh is skipped — the solve
+    ///   starts in `O(1)` residual work instead of `O(nnz·N·R)`. The
+    ///   result is bit-identical to `solve_from` on the same inputs.
+    ///
+    /// The ADMM auxiliaries restart either way (`Y = 0`, `η = η₀`; `B`'s
+    /// carried value is irrelevant because every mode step recomputes it
+    /// from `ηA − Y` before any read), so warm state is exactly: factors
+    /// plus residual.
+    pub fn solve_streamed(
+        &self,
+        observed: &CooTensor,
+        laplacians: &[Option<&Laplacian>],
+        init: Option<&KruskalTensor>,
+        carry: Option<ResidualHandoff>,
+    ) -> Result<(CompletionResult, ResidualHandoff)> {
+        validate_problem(observed, laplacians, &self.cfg)?;
+        if let Some(m) = init {
+            if m.shape() != observed.shape() || m.rank() != self.cfg.rank {
+                return Err(CoreError::Invalid(format!(
+                    "warm-start model (shape {:?}, rank {}) does not match problem (shape {:?}, rank {})",
+                    m.shape(),
+                    m.rank(),
+                    observed.shape(),
+                    self.cfg.rank
+                )));
+            }
+        }
+        if let Some(c) = &carry {
+            if init.is_none() {
+                return Err(CoreError::Invalid(
+                    "a residual hand-off requires the warm-start model it was computed against"
+                        .into(),
+                ));
+            }
+            if c.e.shape() != observed.shape() || c.e.nnz() != observed.nnz() {
+                return Err(CoreError::Invalid(format!(
+                    "carried residual (shape {:?}, nnz {}) does not share the observed support (shape {:?}, nnz {})",
+                    c.e.shape(),
+                    c.e.nnz(),
+                    observed.shape(),
+                    observed.nnz()
+                )));
+            }
+            if (0..observed.nnz()).any(|i| c.e.index(i) != observed.index(i)) {
+                return Err(CoreError::Invalid(
+                    "carried residual support diverges from the observed tensor".into(),
+                ));
+            }
+        }
+        let truncated = truncate_all(observed.shape(), laplacians, &self.cfg)?;
+        let start = Instant::now();
+        solve_with_handoff(observed, &truncated, &self.cfg, init.cloned(), carry, |_iter| {
+            start.elapsed().as_secs_f64()
+        })
+    }
+}
+
+/// Fresh residual state handed between consecutive streaming solves.
+///
+/// Invariant: `e`'s values are exactly `Ω∗(T − [[model…]])` for the model
+/// returned alongside it — [`solver::run`] leaves them that way (the last
+/// iteration's residual refresh runs *after* the final factor swap), and
+/// the streaming delta apply keeps them that way when the observation set
+/// changes. `csf` carries the per-mode fiber trees when the CSF path is
+/// enabled; their *structure* is reusable as long as the support is
+/// unchanged (values are re-scattered at the next solve), and the
+/// streaming layer drops them on structural deltas so they are rebuilt.
+#[derive(Debug, Clone)]
+pub struct ResidualHandoff {
+    /// Residual values on the observed support, in entry order.
+    pub e: CooTensor,
+    /// Per-mode CSF trees (empty unless [`AdmmConfig::use_csf`]).
+    pub csf: Vec<CsfTensor>,
 }
 
 /// Shared problem validation (also used by the distributed solver).
@@ -148,14 +233,32 @@ pub(crate) fn solve_with(
     initial: Option<KruskalTensor>,
     clock: impl Fn(usize) -> f64,
 ) -> Result<CompletionResult> {
+    solve_with_handoff(observed, truncated, cfg, initial, None, clock).map(|(r, _)| r)
+}
+
+/// The host driver with residual hand-off: the full streaming-aware
+/// path. `carry = None` reproduces the pre-streaming cold/warm-factor
+/// behavior bit-for-bit (the residual starts stale and the prologue
+/// refreshes it); `carry = Some` reuses the fresh residual — and, when
+/// the support is unchanged, the CSF tree structure — from the previous
+/// solve and skips the prologue refresh.
+pub(crate) fn solve_with_handoff(
+    observed: &CooTensor,
+    truncated: &[TruncatedLaplacian],
+    cfg: &AdmmConfig,
+    initial: Option<KruskalTensor>,
+    carry: Option<ResidualHandoff>,
+    clock: impl Fn(usize) -> f64,
+) -> Result<(CompletionResult, ResidualHandoff)> {
     let n_modes = observed.order();
 
     // The per-mode MTTKRP boundaries (Algorithm 2's greedy balancing over
-    // slice loads) are computed once — the support never changes — and
-    // any blocking is bit-exact, so sizing them to the worker count is
-    // free. `parallelism()` (not `threads()`) clamps the chunk count to
-    // the cores actually available, so a `DISTENC_THREADS` setting above
-    // the machine's core count no longer oversplits the kernels.
+    // slice loads) are computed once — the support never changes *within*
+    // a solve — and any blocking is bit-exact, so sizing them to the
+    // worker count is free. `parallelism()` (not `threads()`) clamps the
+    // chunk count to the cores actually available, so a `DISTENC_THREADS`
+    // setting above the machine's core count no longer oversplits the
+    // kernels.
     let exec = Executor::new(cfg.exec);
     let boundaries: Vec<Vec<usize>> = (0..n_modes)
         .map(|n| {
@@ -163,16 +266,31 @@ pub(crate) fn solve_with(
         })
         .collect();
 
-    // The residual shares the observed support; its values start stale
-    // (they still hold `T`'s) and solver::run's prologue refreshes them
-    // before anything reads them. The optional CSF trees (§III-C's fiber
-    // layout) are likewise built once over the fixed support, values
-    // refreshed alongside `e`.
-    let e = observed.clone();
+    // The residual shares the observed support. Cold: its values start
+    // stale (they still hold `T`'s) and solver::run's prologue refreshes
+    // them before anything reads them. Warm: the carried values are
+    // already fresh for `initial` and the prologue is skipped. The
+    // optional CSF trees (§III-C's fiber layout) are reused structurally
+    // when the carried set still matches the support; otherwise rebuilt.
+    let residual_fresh = carry.is_some();
+    let (e, carried_csf) = match carry {
+        Some(c) => (c.e, c.csf),
+        None => (observed.clone(), Vec::new()),
+    };
     let csf: Vec<CsfTensor> = if cfg.use_csf {
-        (0..n_modes)
-            .map(|n| CsfTensor::for_mode(&e, n))
-            .collect::<distenc_tensor::Result<_>>()?
+        let mut csf = carried_csf;
+        if csf.len() == n_modes && csf.iter().all(|c| c.nnz() == observed.nnz()) {
+            // Same support: keep the trees, re-scatter the (fresh) values
+            // into their leaves — no tree construction, no factor sweeps.
+            for c in csf.iter_mut() {
+                c.set_values(&e)?;
+            }
+            csf
+        } else {
+            (0..n_modes)
+                .map(|n| CsfTensor::for_mode(&e, n))
+                .collect::<distenc_tensor::Result<_>>()?
+        }
     } else {
         Vec::new()
     };
@@ -186,7 +304,12 @@ pub(crate) fn solve_with(
         ResidualStore::Coo { e, csf },
         boundaries,
     )?;
-    solver::run(observed, truncated, cfg, &mut backend, st)
+    let (result, residual) =
+        solver::run(observed, truncated, cfg, &mut backend, st, residual_fresh)?;
+    let ResidualStore::Coo { e, csf } = residual else {
+        return Err(CoreError::Invalid("host solve produced a non-COO residual".into()));
+    };
+    Ok((result, ResidualHandoff { e, csf }))
 }
 
 

@@ -37,7 +37,7 @@ use distenc_dataflow::cluster::TaskCost;
 use distenc_dataflow::Cluster;
 use distenc_graph::{Laplacian, TruncatedLaplacian};
 use distenc_partition::TensorBlocks;
-use distenc_tensor::CooTensor;
+use distenc_tensor::{CooTensor, KruskalTensor};
 
 const F64: u64 = 8;
 
@@ -67,6 +67,41 @@ impl<'c> DisTenC<'c> {
         &self,
         observed: &CooTensor,
         laplacians: &[Option<&Laplacian>],
+    ) -> Result<CompletionResult> {
+        self.solve_inner(observed, laplacians, None)
+    }
+
+    /// Like [`DisTenC::solve`], but warm-started from `init`'s factors.
+    ///
+    /// The blocked residual is rebuilt on the cluster (its values start
+    /// stale and the solver prologue refreshes them against `init`), so
+    /// this is a factor-warm / residual-cold restart — the distributed
+    /// analogue of [`crate::AdmmSolver::solve_from`]. Used by the
+    /// streaming layer to re-converge after a delta batch without
+    /// discarding the learned model.
+    pub fn solve_from(
+        &self,
+        observed: &CooTensor,
+        laplacians: &[Option<&Laplacian>],
+        init: &KruskalTensor,
+    ) -> Result<CompletionResult> {
+        if init.shape() != observed.shape() || init.rank() != self.cfg.rank {
+            return Err(crate::CoreError::Invalid(format!(
+                "warm-start model is {:?} rank {}, problem is {:?} rank {}",
+                init.shape(),
+                init.rank(),
+                observed.shape(),
+                self.cfg.rank
+            )));
+        }
+        self.solve_inner(observed, laplacians, Some(init.clone()))
+    }
+
+    fn solve_inner(
+        &self,
+        observed: &CooTensor,
+        laplacians: &[Option<&Laplacian>],
+        initial: Option<KruskalTensor>,
     ) -> Result<CompletionResult> {
         validate_problem(observed, laplacians, &self.cfg)?;
         let cl = self.cluster;
@@ -134,11 +169,11 @@ impl<'c> DisTenC<'c> {
             observed,
             &truncated,
             &self.cfg,
-            None,
+            initial,
             ResidualStore::Blocked { blocks },
             boundaries,
         )?;
-        let result = solver::run(observed, &truncated, &self.cfg, &mut backend, st)?;
+        let (result, _) = solver::run(observed, &truncated, &self.cfg, &mut backend, st, false)?;
 
         // Release resident memory (the job is done). An error above keeps
         // it reserved — the failed job's footprint stays visible in the

@@ -36,7 +36,7 @@ pub mod objective;
 pub(crate) mod solver;
 pub mod trace;
 
-pub use admm::AdmmSolver;
+pub use admm::{AdmmSolver, ResidualHandoff};
 pub use config::AdmmConfig;
 pub use distenc::DisTenC;
 pub use model::{MethodModel, RunOutcome, WorkloadSpec};

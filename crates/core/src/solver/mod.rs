@@ -375,13 +375,30 @@ pub(crate) fn mode_step<B: StepBackend>(
 /// sweep of [`mode_step`]s, the factor swap with the convergence
 /// statistic, the residual refresh, the trace point, and the `η`
 /// schedule.
+///
+/// `residual_fresh` is the streaming warm-start contract: when the
+/// caller guarantees the residual values are already exactly
+/// `Ω∗(T − [[A₀…]])` for the initial model (maintained incrementally by
+/// the delta apply path), the prologue residual refresh is skipped.
+/// Skipping is bit-invisible: a refresh would recompute the very same
+/// values (the delta path evaluates the model with the same fold the
+/// refresh kernels use), and the only other prologue effect — banking
+/// iteration 0's mode-0 MTTKRP — degrades to that mode computing its own
+/// sweep, whose output is pinned bit-identical to the banked one.
+///
+/// Alongside the result, the final residual store is handed back to the
+/// caller; after the loop its values are always fresh with respect to
+/// the returned model (the last iteration's `fused_step` refreshed them
+/// after the final factor swap), which is what makes consecutive warm
+/// re-solves chainable.
 pub(crate) fn run<B: StepBackend>(
     observed: &CooTensor,
     truncated: &[TruncatedLaplacian],
     cfg: &AdmmConfig,
     backend: &mut B,
     mut st: SolverState,
-) -> Result<CompletionResult> {
+    residual_fresh: bool,
+) -> Result<(CompletionResult, ResidualStore)> {
     // Drivers validate at their API boundary; this guard keeps the shared
     // core safe against a zero-support tensor slipping through a future
     // caller (train RMSE would be 0/0 = NaN).
@@ -399,7 +416,9 @@ pub(crate) fn run<B: StepBackend>(
         backend.refresh_gram(&st.model.factors()[n], n, &mut st.grams[n])?;
     }
     backend.on_grams_refreshed()?;
-    let _ = backend.fused_step(observed, &st.model, &mut st.residual, cfg.max_iters > 0)?;
+    if !residual_fresh {
+        let _ = backend.fused_step(observed, &st.model, &mut st.residual, cfg.max_iters > 0)?;
+    }
 
     let mut trace = ConvergenceTrace::new();
     trace.points.reserve(cfg.max_iters);
@@ -447,5 +466,6 @@ pub(crate) fn run<B: StepBackend>(
         }
     }
 
-    Ok(CompletionResult { model: st.model, trace, iterations, converged })
+    let SolverState { model, residual, .. } = st;
+    Ok((CompletionResult { model, trace, iterations, converged }, residual))
 }

@@ -49,6 +49,18 @@ pub struct Engine {
 impl Engine {
     /// Shard `model` into a [`FactorStore`] and wrap it for serving.
     pub fn new(model: &KruskalTensor, cfg: EngineConfig) -> Result<Self> {
+        Engine::with_metrics(model, cfg, Arc::new(ServeMetrics::new()))
+    }
+
+    /// Like [`Engine::new`], but counting into an existing set of
+    /// metrics. This is how [`crate::LiveEngine`] keeps one continuous
+    /// counter stream across model generations: each published engine is
+    /// fresh, the metrics are shared.
+    pub fn with_metrics(
+        model: &KruskalTensor,
+        cfg: EngineConfig,
+        metrics: Arc<ServeMetrics>,
+    ) -> Result<Self> {
         if cfg.deadline_check_every == 0 {
             return Err(ServeError::BadConfig(
                 "deadline_check_every must be at least 1".into(),
@@ -57,7 +69,7 @@ impl Engine {
         Ok(Engine {
             store: FactorStore::new(model, cfg.shard_rows)?,
             cache: Mutex::new(LruCache::new(cfg.topk_cache)),
-            metrics: Arc::new(ServeMetrics::new()),
+            metrics,
             cache_capacity: cfg.topk_cache,
             check_every: cfg.deadline_check_every,
         })

@@ -36,6 +36,7 @@
 
 pub mod cache;
 pub mod engine;
+pub mod live;
 pub mod metrics;
 pub mod queue;
 pub mod store;
@@ -44,6 +45,7 @@ pub mod workload;
 
 pub use cache::LruCache;
 pub use engine::{Engine, EngineConfig};
+pub use live::{LiveEngine, Tagged};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use queue::{QueueConfig, Request, Response, ServeQueue, Ticket};
 pub use store::FactorStore;

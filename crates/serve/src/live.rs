@@ -1,0 +1,186 @@
+//! Live model swap: serve one model generation while publishing the next.
+//!
+//! A [`LiveEngine`] wraps an epoch-versioned [`Engine`] handle in an
+//! `arc-swap` cell (vendored shim). Readers resolve the handle **once per
+//! query** — every row gather, cache probe, and top-K scan inside that
+//! query sees one coherent `(engine, generation)` pair, so a response is
+//! always attributable to exactly one model generation even if a publish
+//! lands mid-query. Publishing builds the new engine off to the side
+//! (sharding is the expensive part) and then swaps the handle with a
+//! single atomic store; queries in flight finish on the generation they
+//! pinned, new queries see the new model. No reader ever blocks and no
+//! read can fail because of a swap.
+//!
+//! Memory ordering: correctness rests on the cell's Release-store /
+//! Acquire-load pair (see the `arc-swap` shim docs for the full
+//! argument); the generation tag travels *inside* the swapped value, so
+//! it can never be observed torn from its engine. The
+//! [`ServeMetrics::publish`] counters are relaxed — they feed reporting,
+//! not the swap protocol.
+
+use crate::engine::{Engine, EngineConfig};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::topk::{TopKQuery, TopKResult};
+use crate::Result;
+use arc_swap::ArcSwap;
+use distenc_tensor::KruskalTensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A query response tagged with the model generation that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tagged<T> {
+    /// The response payload.
+    pub value: T,
+    /// The generation of the model that served this query (1-based;
+    /// generation 1 is the model the engine was created with).
+    pub generation: u64,
+}
+
+/// One published model generation: an engine plus its epoch tag, swapped
+/// as a unit so the two can never be observed out of sync.
+#[derive(Debug)]
+struct GenerationSlot {
+    engine: Engine,
+    generation: u64,
+}
+
+/// A hot-swappable serving engine.
+///
+/// All query methods mirror [`Engine`]'s, returning [`Tagged`] responses.
+/// [`LiveEngine::publish`] atomically replaces the served model; the
+/// top-K cache starts cold on the new generation (its entries describe
+/// the old model), while [`ServeMetrics`] counters continue across
+/// generations as one stream.
+#[derive(Debug)]
+pub struct LiveEngine {
+    slot: ArcSwap<GenerationSlot>,
+    metrics: Arc<ServeMetrics>,
+    cfg: EngineConfig,
+    next_generation: AtomicU64,
+}
+
+impl LiveEngine {
+    /// Start serving `model` as generation 1.
+    pub fn new(model: &KruskalTensor, cfg: EngineConfig) -> Result<Self> {
+        let metrics = Arc::new(ServeMetrics::new());
+        let engine = Engine::with_metrics(model, cfg.clone(), Arc::clone(&metrics))?;
+        metrics.publish(1);
+        Ok(LiveEngine {
+            slot: ArcSwap::new(Arc::new(GenerationSlot { engine, generation: 1 })),
+            metrics,
+            cfg,
+            next_generation: AtomicU64::new(2),
+        })
+    }
+
+    /// Build and atomically publish a new model generation, returning its
+    /// tag. Sharding happens before the swap, so the served model is
+    /// stale-but-consistent during the build and the cutover itself is
+    /// one atomic store. The new model may have any shape/rank (streaming
+    /// growth changes both).
+    pub fn publish(&self, model: &KruskalTensor) -> Result<u64> {
+        let engine = Engine::with_metrics(model, self.cfg.clone(), Arc::clone(&self.metrics))?;
+        let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+        self.slot.store(Arc::new(GenerationSlot { engine, generation }));
+        self.metrics.publish(generation);
+        Ok(generation)
+    }
+
+    /// The generation currently being served.
+    pub fn generation(&self) -> u64 {
+        self.slot.load_full().generation
+    }
+
+    /// Shape of the currently served model.
+    pub fn shape(&self) -> Vec<usize> {
+        self.slot.load_full().engine.shape().to_vec()
+    }
+
+    /// Live counters, continuous across generations.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Snapshot the counters for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// One completed entry (see [`Engine::point`]), tagged with the
+    /// generation that scored it.
+    pub fn point(&self, index: &[usize]) -> Result<Tagged<f64>> {
+        let slot = self.slot.load_full();
+        let value = slot.engine.point(index)?;
+        Ok(Tagged { value, generation: slot.generation })
+    }
+
+    /// Batch scoring (see [`Engine::batch`]); the whole batch is served
+    /// by one generation.
+    pub fn batch<I: AsRef<[usize]>>(&self, indices: &[I]) -> Result<Tagged<Vec<f64>>> {
+        let slot = self.slot.load_full();
+        let value = slot.engine.batch(indices)?;
+        Ok(Tagged { value, generation: slot.generation })
+    }
+
+    /// Top-K search (see [`Engine::topk`]); cache and scan both run
+    /// against the pinned generation.
+    pub fn topk(&self, query: &TopKQuery, budget: Option<Duration>) -> Result<Tagged<TopKResult>> {
+        let slot = self.slot.load_full();
+        let value = slot.engine.topk(query, budget)?;
+        Ok(Tagged { value, generation: slot.generation })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_and_tags_generations() {
+        let m1 = KruskalTensor::random(&[20, 15, 10], 3, 1);
+        let live = LiveEngine::new(&m1, EngineConfig::default()).unwrap();
+        let r = live.point(&[3, 4, 5]).unwrap();
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.value.to_bits(), m1.eval(&[3, 4, 5]).to_bits());
+
+        let m2 = KruskalTensor::random(&[20, 15, 10], 3, 2);
+        assert_eq!(live.publish(&m2).unwrap(), 2);
+        let r = live.point(&[3, 4, 5]).unwrap();
+        assert_eq!(r.generation, 2);
+        assert_eq!(r.value.to_bits(), m2.eval(&[3, 4, 5]).to_bits());
+        assert_eq!(live.generation(), 2);
+
+        let s = live.snapshot();
+        assert_eq!(s.models_published, 2);
+        assert_eq!(s.serving_generation, 2);
+        // Counters are continuous across the swap.
+        assert_eq!(s.point_queries, 2);
+    }
+
+    #[test]
+    fn publish_accepts_grown_models() {
+        let m1 = KruskalTensor::random(&[10, 8], 2, 3);
+        let live = LiveEngine::new(&m1, EngineConfig::default()).unwrap();
+        assert!(live.point(&[10, 0]).is_err(), "out of range on gen 1");
+        let m2 = KruskalTensor::random(&[12, 8], 2, 4);
+        live.publish(&m2).unwrap();
+        assert_eq!(live.shape(), vec![12, 8]);
+        let r = live.point(&[10, 0]).unwrap();
+        assert_eq!(r.generation, 2);
+    }
+
+    #[test]
+    fn topk_cache_does_not_leak_across_generations() {
+        let m1 = KruskalTensor::random(&[50, 6, 6], 3, 5);
+        let live = LiveEngine::new(&m1, EngineConfig::default()).unwrap();
+        let q = TopKQuery { mode: 0, at: vec![0, 2, 3], k: 4 };
+        let first = live.topk(&q, None).unwrap();
+        let m2 = KruskalTensor::random(&[50, 6, 6], 3, 6);
+        live.publish(&m2).unwrap();
+        let second = live.topk(&q, None).unwrap();
+        assert_eq!(second.generation, 2);
+        assert_ne!(first.value.items, second.value.items, "gen-2 top-K must be recomputed");
+    }
+}

@@ -27,6 +27,8 @@ pub struct ServeMetrics {
     candidates_pruned: AtomicU64,
     queue_rejections: AtomicU64,
     batches_executed: AtomicU64,
+    models_published: AtomicU64,
+    serving_generation: AtomicU64,
     hist: [AtomicU64; BUCKETS],
     lat_count: AtomicU64,
     lat_sum_nanos: AtomicU64,
@@ -47,6 +49,8 @@ impl Default for ServeMetrics {
             candidates_pruned: AtomicU64::new(0),
             queue_rejections: AtomicU64::new(0),
             batches_executed: AtomicU64::new(0),
+            models_published: AtomicU64::new(0),
+            serving_generation: AtomicU64::new(0),
             hist: std::array::from_fn(|_| AtomicU64::new(0)),
             lat_count: AtomicU64::new(0),
             lat_sum_nanos: AtomicU64::new(0),
@@ -105,6 +109,14 @@ impl ServeMetrics {
         self.batches_executed.fetch_add(1, Relaxed);
     }
 
+    /// A new model generation went live (hot swap). Counters are relaxed
+    /// like everything here — the *swap itself* is ordered by the
+    /// engine-handle cell, these only feed reporting.
+    pub fn publish(&self, generation: u64) {
+        self.models_published.fetch_add(1, Relaxed);
+        self.serving_generation.store(generation, Relaxed);
+    }
+
     /// Record one served-query latency.
     pub fn record_latency(&self, lat: Duration) {
         let nanos = lat.as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -132,6 +144,8 @@ impl ServeMetrics {
             candidates_pruned: self.candidates_pruned.load(Relaxed),
             queue_rejections: self.queue_rejections.load(Relaxed),
             batches_executed: self.batches_executed.load(Relaxed),
+            models_published: self.models_published.load(Relaxed),
+            serving_generation: self.serving_generation.load(Relaxed),
             p50: quantile(&hist, count, 0.50),
             p90: quantile(&hist, count, 0.90),
             p99: quantile(&hist, count, 0.99),
@@ -190,6 +204,12 @@ pub struct MetricsSnapshot {
     pub queue_rejections: u64,
     /// Batches drained from the queue.
     pub batches_executed: u64,
+    /// Model generations published over the engine's lifetime (0 for a
+    /// static engine that never hot-swapped).
+    pub models_published: u64,
+    /// The model generation currently being served (0 until the first
+    /// publish).
+    pub serving_generation: u64,
     /// Median served latency (bucket upper bound).
     pub p50: Duration,
     /// 90th-percentile served latency (bucket upper bound).
@@ -258,6 +278,11 @@ impl std::fmt::Display for MetricsSnapshot {
             self.deadline_misses, self.degraded_results
         )?;
         writeln!(f, "queue rejections    : {}", self.queue_rejections)?;
+        writeln!(
+            f,
+            "models published    : {} (serving generation {})",
+            self.models_published, self.serving_generation
+        )?;
         write!(
             f,
             "latency (≤)         : p50 {:?}  p90 {:?}  p99 {:?}  mean {:?}  (n={})",

@@ -185,6 +185,100 @@ impl CooTensor {
         self.values = values;
     }
 
+    /// Binary-search the entry holding `index`, returning its position.
+    ///
+    /// Requires the entries to be in lexicographic index order (the
+    /// [`CooTensor::sort_dedup`] invariant); on unsorted tensors the
+    /// result is meaningless. Returns `None` when the cell is not stored
+    /// (or the tuple has the wrong order). `O(N · log nnz)`.
+    pub fn position_of(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.order() {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, self.nnz());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.index(mid) < index {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo < self.nnz() && self.index(lo) == index).then_some(lo)
+    }
+
+    /// Merge another sorted tensor's entries into this one, keeping the
+    /// lexicographic order. Both operands must be sorted
+    /// ([`CooTensor::sort_dedup`]) and share a shape; colliding cells sum
+    /// their values (the `sort_dedup` convention). One linear pass —
+    /// `O((nnz + other.nnz) · N)` — instead of re-sorting from scratch,
+    /// which is what makes folding a small delta batch into a large
+    /// tensor cheap.
+    pub fn merge_sorted(&mut self, other: &CooTensor) -> Result<()> {
+        if other.shape != self.shape {
+            return Err(TensorError::ShapeMismatch(format!(
+                "cannot merge shape {:?} into shape {:?}",
+                other.shape, self.shape
+            )));
+        }
+        if other.nnz() == 0 {
+            return Ok(());
+        }
+        let mut indices = Vec::with_capacity(self.indices.len() + other.indices.len());
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.nnz() && b < other.nnz() {
+            match self.index(a).cmp(other.index(b)) {
+                std::cmp::Ordering::Less => {
+                    indices.extend_from_slice(self.index(a));
+                    values.push(self.values[a]);
+                    a += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    indices.extend_from_slice(other.index(b));
+                    values.push(other.values[b]);
+                    b += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    indices.extend_from_slice(self.index(a));
+                    values.push(self.values[a] + other.values[b]);
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        while a < self.nnz() {
+            indices.extend_from_slice(self.index(a));
+            values.push(self.values[a]);
+            a += 1;
+        }
+        while b < other.nnz() {
+            indices.extend_from_slice(other.index(b));
+            values.push(other.values[b]);
+            b += 1;
+        }
+        self.indices = indices;
+        self.values = values;
+        Ok(())
+    }
+
+    /// Grow the tensor's shape in place (dimension growth: new slice
+    /// indices appended to the end of one or more modes). Every mode of
+    /// `new_shape` must be at least as long as the current one; stored
+    /// entries are untouched and stay valid.
+    pub fn grow_shape(&mut self, new_shape: &[usize]) -> Result<()> {
+        if new_shape.len() != self.order()
+            || new_shape.iter().zip(&self.shape).any(|(&n, &o)| n < o)
+        {
+            return Err(TensorError::InvalidShape {
+                shape: new_shape.to_vec(),
+                reason: "grown shape must keep the order and dominate every mode",
+            });
+        }
+        self.shape = new_shape.to_vec();
+        Ok(())
+    }
+
     /// The set of distinct indices appearing in `mode`, sorted. Determines
     /// which factor-matrix rows are "active" (the basis of DisTenC's and
     /// SCouT's ability to scale to 10⁹-dimensional modes with 10⁷
@@ -327,6 +421,53 @@ mod tests {
         for c in &chunks {
             assert_eq!(c.shape(), t.shape());
         }
+    }
+
+    #[test]
+    fn position_of_finds_sorted_entries() {
+        let mut t = sample();
+        t.sort_dedup();
+        for e in 0..t.nnz() {
+            assert_eq!(t.position_of(t.index(e)), Some(e));
+        }
+        assert_eq!(t.position_of(&[0, 1, 0]), None); // absent cell
+        assert_eq!(t.position_of(&[0, 0]), None); // wrong order
+    }
+
+    #[test]
+    fn merge_sorted_interleaves_and_sums() {
+        let mut a = CooTensor::from_entries(
+            vec![4, 4],
+            &[(&[0, 0], 1.0), (&[2, 2], 2.0)],
+        )
+        .unwrap();
+        let b = CooTensor::from_entries(
+            vec![4, 4],
+            &[(&[0, 1], 5.0), (&[2, 2], 3.0), (&[3, 3], 7.0)],
+        )
+        .unwrap();
+        a.merge_sorted(&b).unwrap();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.index(0), &[0, 0]);
+        assert_eq!(a.index(1), &[0, 1]);
+        assert_eq!(a.value(2), 5.0); // 2.0 + 3.0 at [2,2]
+        assert_eq!(a.index(3), &[3, 3]);
+        // Result is itself sorted: every lookup works.
+        assert_eq!(a.position_of(&[3, 3]), Some(3));
+        // Shape mismatch rejected.
+        let c = CooTensor::new(vec![5, 4]);
+        assert!(a.merge_sorted(&c).is_err());
+    }
+
+    #[test]
+    fn grow_shape_extends_modes() {
+        let mut t = sample();
+        assert!(t.grow_shape(&[3, 4]).is_err()); // wrong order
+        assert!(t.grow_shape(&[2, 4, 2]).is_err()); // shrinks mode 0
+        t.grow_shape(&[5, 4, 3]).unwrap();
+        assert_eq!(t.shape(), &[5, 4, 3]);
+        assert_eq!(t.nnz(), 4); // entries untouched
+        t.push(&[4, 3, 2], 9.0).unwrap(); // new slices are addressable
     }
 
     #[test]

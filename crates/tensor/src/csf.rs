@@ -517,7 +517,7 @@ mod tests {
             let coo = random_coo(&shape, nnz, 1);
             for &rank in &[1usize, 3, 8, 16, 17] {
                 let model = KruskalTensor::random(&shape, rank, 2 + rank as u64);
-                for mode in 0..shape.len() {
+                for (mode, &mode_dim) in shape.iter().enumerate() {
                     // Unfused sequence: refresh residual, push values into
                     // the tree, walk.
                     let fresh = residual(&coo, &model).unwrap();
@@ -528,7 +528,7 @@ mod tests {
                     // Fused walk from stale values.
                     let mut csf = CsfTensor::for_mode(&coo, mode).unwrap();
                     let mut e = coo.clone(); // stale
-                    let mut h = Mat::random(shape[mode], rank, 9); // dirty
+                    let mut h = Mat::random(mode_dim, rank, 9); // dirty
                     let f = csf
                         .fused_mttkrp_refresh_root_into(&coo, &model, &mut e, &mut h)
                         .unwrap();

@@ -60,6 +60,44 @@ fn eval_model(factors: &[Mat], idx: &[usize], r: usize) -> f64 {
     acc
 }
 
+/// Tensors up to this order gather their per-entry factor rows once into
+/// a stack array; the `rr`-outer eval fold then walks cached slices
+/// instead of paying `R·N` `Mat::row` bound computations per entry (the
+/// cost that made the generic-rank fused kernel *slower* than the
+/// unfused pair at R = 17). Higher orders — beyond anything DisTenC's
+/// workloads use — fall back to the uncached body; both bodies run the
+/// identical operation sequence, so the choice never changes a bit.
+const MAX_CACHED_ORDER: usize = 8;
+
+/// One fused entry against pre-gathered factor rows: the eval fold
+/// (`rr`-outer, modes ascending — [`KruskalTensor::eval`]'s exact
+/// association), then the separate mode-excluded Hadamard fold into
+/// `scratch` starting from the fresh value. Returns the fresh residual
+/// value `t − [[A…]](idx)`.
+#[inline(always)]
+fn fused_entry_rows(rows: &[&[f64]], t: f64, mode: usize, scratch: &mut [f64]) -> f64 {
+    let r = scratch.len();
+    let mut acc = 0.0;
+    for rr in 0..r {
+        let mut prod = 1.0;
+        for row in rows {
+            prod *= row[rr];
+        }
+        acc += prod;
+    }
+    let val = t - acc;
+    scratch.iter_mut().for_each(|s| *s = val);
+    for (k, row) in rows.iter().enumerate() {
+        if k == mode {
+            continue;
+        }
+        for (s, &a) in scratch.iter_mut().zip(*row) {
+            *s *= a;
+        }
+    }
+    val
+}
+
 /// Fused sweep over a flat entry range, accumulating `H` rows directly
 /// and the `‖E‖²` statistic in entry order. `scratch.len()` is the rank.
 /// Returns `Σ eᵢ²`.
@@ -75,6 +113,24 @@ fn fused_sweep_flat(
     let r = scratch.len();
     h.fill(0.0);
     let mut acc = 0.0;
+    if factors.len() <= MAX_CACHED_ORDER {
+        let mut rows: [&[f64]; MAX_CACHED_ORDER] = [&[]; MAX_CACHED_ORDER];
+        for (pos, slot) in vals.iter_mut().enumerate() {
+            let idx = observed.index(pos);
+            for (rslot, (f, &i)) in rows.iter_mut().zip(factors.iter().zip(idx)) {
+                *rslot = f.row(i);
+            }
+            let val =
+                fused_entry_rows(&rows[..factors.len()], observed.value(pos), mode, scratch);
+            *slot = val;
+            acc += val * val;
+            let out = h.row_mut(idx[mode]);
+            for (o, &s) in out.iter_mut().zip(scratch.iter()) {
+                *o += s;
+            }
+        }
+        return acc;
+    }
     for (pos, slot) in vals.iter_mut().enumerate() {
         let idx = observed.index(pos);
         let val = observed.value(pos) - eval_model(factors, idx, r);
@@ -109,6 +165,22 @@ fn fused_sweep_bucket(kernel: BucketFused<'_>, scratch: &mut [f64]) {
     let BucketFused { observed, factors, mode, bucket, lo, slab, vals, .. } = kernel;
     let r = scratch.len();
     slab.fill(0.0);
+    if factors.len() <= MAX_CACHED_ORDER {
+        let mut rows: [&[f64]; MAX_CACHED_ORDER] = [&[]; MAX_CACHED_ORDER];
+        for (slot, &pos) in vals.iter_mut().zip(bucket) {
+            let idx = observed.index(pos);
+            for (rslot, (f, &i)) in rows.iter_mut().zip(factors.iter().zip(idx)) {
+                *rslot = f.row(i);
+            }
+            *slot =
+                fused_entry_rows(&rows[..factors.len()], observed.value(pos), mode, scratch);
+            let out = slab.row_mut(idx[mode] - lo);
+            for (o, &s) in out.iter_mut().zip(scratch.iter()) {
+                *o += s;
+            }
+        }
+        return;
+    }
     for (slot, &pos) in vals.iter_mut().zip(bucket) {
         let idx = observed.index(pos);
         let val = observed.value(pos) - eval_model(factors, idx, r);

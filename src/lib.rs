@@ -19,6 +19,8 @@
 //! * [`datagen`] — synthetic workloads mirroring the paper's datasets
 //! * [`eval`] — metrics and the figure/table experiment harness
 //! * [`serve`] — sharded, batched model serving for completed tensors
+//! * [`stream`] — streaming completion: delta batches, warm re-solves,
+//!   and live model swap into the serve tier
 
 #![warn(missing_docs)]
 
@@ -31,4 +33,5 @@ pub use distenc_graph as graph;
 pub use distenc_linalg as linalg;
 pub use distenc_partition as partition;
 pub use distenc_serve as serve;
+pub use distenc_stream as stream;
 pub use distenc_tensor as tensor;

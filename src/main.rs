@@ -39,6 +39,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(rest),
         "complete" => cmd_complete(rest),
+        "stream" => cmd_stream(rest),
         "evaluate" => cmd_evaluate(rest),
         "predict" => cmd_predict(rest),
         "serve-bench" => cmd_serve_bench(rest),
@@ -68,6 +69,12 @@ USAGE:
                    [--iters T] [--tol EPS] [--eigen-k K] [--seed S] [--nonneg]
                    [--threads N]      (N >= 2 enables the thread-pool backend;
                                        results are bit-identical either way)
+  distenc stream   --input FILE --delta FILE.. --rank R --out MODEL
+                   [--iters T] [--budget-iters T] [--tol EPS] [--seed S]
+                   (each --delta is a COO file; entries on observed cells
+                    become value updates, new cells become inserts, and a
+                    larger `# shape:` header grows the tensor — the model
+                    is warm re-solved after every batch)
   distenc evaluate --model MODEL --test FILE
   distenc predict  --model MODEL --at i1,i2,..
   distenc predict  --model MODEL --at-file FILE         (scores every index)
@@ -225,6 +232,78 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
     );
     io::write_kruskal_file(&result.model, out).map_err(|e| e.to_string())?;
     eprintln!("wrote rank-{} model to {out}", result.model.rank());
+    Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), String> {
+    use distenc::stream::{DeltaBatch, StreamingSolver};
+
+    let opts = parse_opts(args, &[])?;
+    let input = req(&opts, "input")?;
+    let out = req(&opts, "out")?;
+    let observed = io::read_coo_file(input).map_err(|e| e.to_string())?;
+    let order = observed.order();
+
+    let cfg = AdmmConfig {
+        rank: parse_num(req(&opts, "rank")?, "rank")?,
+        max_iters: opts.get("iters").map_or(Ok(60), |s| parse_num(s, "iters"))?,
+        tol: opts.get("tol").map_or(Ok(1e-4), |s| parse_num(s, "tol"))?,
+        seed: opts.get("seed").map_or(Ok(42), |s| parse_num(s, "seed"))?,
+        ..Default::default()
+    };
+    let budget: usize =
+        opts.get("budget-iters").map_or(Ok(cfg.max_iters), |s| parse_num(s, "budget-iters"))?;
+    let tol = cfg.tol;
+
+    let mut solver =
+        StreamingSolver::new(observed, vec![None; order], cfg).map_err(|e| e.to_string())?;
+    let first = solver.solve().map_err(|e| e.to_string())?;
+    eprintln!(
+        "initial solve: {} iterations, train RMSE {:.6}",
+        first.iterations,
+        first.trace.final_rmse().unwrap_or(f64::NAN)
+    );
+
+    // Each --delta COO file is one batch: its entries are split into
+    // updates (cells already observed) and inserts (new cells); a larger
+    // shape header grows the tensor.
+    solver.set_budget(budget, tol).map_err(|e| e.to_string())?;
+    for path in req(&opts, "delta")?.split('\n') {
+        let delta = io::read_coo_file(path).map_err(|e| e.to_string())?;
+        if delta.order() != order {
+            return Err(format!("{path}: delta is order {}, tensor is {order}", delta.order()));
+        }
+        let base = solver.observed().shape().to_vec();
+        let growth: Vec<usize> = delta
+            .shape()
+            .iter()
+            .zip(&base)
+            .map(|(&d, &b)| d.saturating_sub(b))
+            .collect();
+        let (mut inserts, mut updates) = (Vec::new(), Vec::new());
+        for (idx, v) in delta.iter() {
+            if solver.observed().position_of(idx).is_some() {
+                updates.push((idx.to_vec(), v));
+            } else {
+                inserts.push((idx.to_vec(), v));
+            }
+        }
+        let batch = DeltaBatch::try_new(&base, &growth, inserts, updates)
+            .map_err(|e| format!("{path}: {e}"))?;
+        solver.apply(&batch).map_err(|e| format!("{path}: {e}"))?;
+        let r = solver.solve().map_err(|e| e.to_string())?;
+        eprintln!(
+            "{path}: applied {} entries -> generation {}: {} iterations, train RMSE {:.6}",
+            delta.nnz(),
+            solver.generation(),
+            r.iterations,
+            r.trace.final_rmse().unwrap_or(f64::NAN)
+        );
+    }
+
+    let model = solver.model().expect("solved at least once");
+    io::write_kruskal_file(model, out).map_err(|e| e.to_string())?;
+    eprintln!("wrote rank-{} model to {out}", model.rank());
     Ok(())
 }
 

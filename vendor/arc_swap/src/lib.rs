@@ -1,0 +1,231 @@
+//! Offline shim for the subset of `arc-swap` this workspace uses.
+//!
+//! [`ArcSwap<T>`] is an atomic cell holding an `Arc<T>`: readers
+//! ([`ArcSwap::load_full`]) obtain their own `Arc` clone without taking a
+//! lock, while a writer ([`ArcSwap::store`]) publishes a replacement
+//! atomically. Vendored because the build environment has no crates.io
+//! access; the algorithm is a small slot-based design rather than the
+//! upstream crate's hazard-pointer machinery, but the exposed API and the
+//! guarantees the workspace relies on (wait-free-in-practice reads,
+//! atomic publication, no torn values) match.
+//!
+//! # Algorithm
+//!
+//! The cell owns `SLOTS` slots, each a reference count plus an
+//! `Option<Arc<T>>`, and a `current` index naming the live slot.
+//!
+//! * A **reader** loads `current` (Acquire), pins that slot by
+//!   incrementing its count (AcqRel), then re-checks that the slot is not
+//!   under writer ownership and is still `current`. On success it clones
+//!   the `Arc` out and unpins (Release). On failure it unpins and
+//!   retries — failure requires a concurrent `store`, so reads are
+//!   lock-free and, absent writers, complete in one pass.
+//! * A **writer** picks any slot other than `current` whose count it can
+//!   CAS from 0 to a `WRITER` mark (AcqRel). Owning the mark, it drops
+//!   the slot's previous occupant, installs the new `Arc`, clears the
+//!   mark (Release), and finally publishes `current = slot` (Release).
+//!
+//! # Why this is sound
+//!
+//! The slot value is only mutated while the `WRITER` bit is held, and the
+//! CAS acquires it only when the count is exactly 0 — no reader pin, no
+//! other writer. A reader that pins *after* the CAS observes the `WRITER`
+//! bit in its own RMW result and bails without touching the value, so the
+//! writer's `&mut`-equivalent access is exclusive. Publication order is
+//! the classic message-passing pair: the writer's Release store to
+//! `current` happens-after its value install, and a reader's Acquire load
+//! of `current` therefore sees the fully-installed `Arc`. An old
+//! generation's `Arc` is dropped only when its slot is recycled (counts
+//! back at 0), so at most `SLOTS − 1` superseded generations linger — the
+//! lazy-reclamation analogue of upstream's deferred hazard reclamation.
+//!
+//! With one writer at a time (the workspace's use), `store` succeeds on
+//! its first or second slot probe; concurrent writers serialize on the
+//! CAS and the last `current` store wins, same as upstream.
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const SLOTS: usize = 4;
+const WRITER: usize = 1 << (usize::BITS - 1);
+
+struct Slot<T> {
+    refs: AtomicUsize,
+    value: UnsafeCell<Option<Arc<T>>>,
+}
+
+/// An atomic cell holding an `Arc<T>`, supporting lock-free reads
+/// concurrent with atomic replacement.
+pub struct ArcSwap<T> {
+    current: AtomicUsize,
+    slots: [Slot<T>; SLOTS],
+}
+
+// Readers on any thread clone `Arc<T>` out and writers move `Arc<T>` in,
+// so the usual `Arc` bounds apply. The interior `UnsafeCell` is only
+// touched under the WRITER/pin protocol documented above.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Create a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        let mut first = Some(value);
+        let slots = std::array::from_fn(|_| Slot {
+            refs: AtomicUsize::new(0),
+            value: UnsafeCell::new(first.take()),
+        });
+        ArcSwap { current: AtomicUsize::new(0), slots }
+    }
+
+    /// Create a cell from an owned value (`Arc::new` included).
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Read the current value, cloning the `Arc` out. Lock-free: retries
+    /// only when a concurrent [`ArcSwap::store`] moves `current` or marks
+    /// the slot mid-read.
+    pub fn load_full(&self) -> Arc<T> {
+        loop {
+            let cur = self.current.load(Ordering::Acquire);
+            let slot = &self.slots[cur];
+            // Pin the slot. The returned previous count tells us whether a
+            // writer owned it at the instant of the RMW.
+            let prev = slot.refs.fetch_add(1, Ordering::AcqRel);
+            if prev & WRITER == 0 && self.current.load(Ordering::Acquire) == cur {
+                // Safe: the pin (count > 0) blocks any writer CAS, and the
+                // slot held a value from the moment it became `current`.
+                let arc = unsafe { (*slot.value.get()).as_ref().expect("current slot is occupied") }
+                    .clone();
+                slot.refs.fetch_sub(1, Ordering::Release);
+                return arc;
+            }
+            slot.refs.fetch_sub(1, Ordering::Release);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Atomically publish `value` as the new current value. Readers in
+    /// flight keep the generation they pinned; readers arriving after the
+    /// final publication see `value`.
+    pub fn store(&self, value: Arc<T>) {
+        let mut value = Some(value);
+        loop {
+            let cur = self.current.load(Ordering::Relaxed);
+            for (s, slot) in self.slots.iter().enumerate() {
+                if s == cur {
+                    continue;
+                }
+                if slot
+                    .refs
+                    .compare_exchange(0, WRITER, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Exclusive: count was 0 (no pins) and is now marked,
+                    // so no reader clones from this slot until we clear.
+                    unsafe {
+                        *slot.value.get() = value.take();
+                    }
+                    slot.refs.fetch_and(!WRITER, Ordering::Release);
+                    self.current.store(s, Ordering::Release);
+                    return;
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArcSwap").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = ArcSwap::from_pointee(1u64);
+        assert_eq!(*cell.load_full(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load_full(), 2);
+        for g in 3..40u64 {
+            cell.store(Arc::new(g));
+            assert_eq!(*cell.load_full(), g);
+        }
+    }
+
+    #[test]
+    fn old_generations_survive_while_held() {
+        let cell = ArcSwap::from_pointee(10u64);
+        let old = cell.load_full();
+        cell.store(Arc::new(20));
+        cell.store(Arc::new(30));
+        assert_eq!(*old, 10, "a pinned generation outlives its replacement");
+        assert_eq!(*cell.load_full(), 30);
+    }
+
+    #[test]
+    fn concurrent_readers_never_tear() {
+        // Each generation is (g, g*3): a torn or half-published read
+        // would break the invariant.
+        let cell = Arc::new(ArcSwap::from_pointee((0u64, 0u64)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let (cell, stop) = (Arc::clone(&cell), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    let mut reads = 0u64;
+                    loop {
+                        let v = cell.load_full();
+                        assert_eq!(v.1, v.0 * 3, "torn read: {v:?}");
+                        reads += 1;
+                        // Keep reading while stores are in flight, but
+                        // never finish with fewer than 100 reads even if
+                        // the writer outruns thread start-up.
+                        if reads >= 100 && stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    reads
+                })
+            })
+            .collect();
+        for g in 1..=2000u64 {
+            cell.store(Arc::new((g, g * 3)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0);
+        let last = cell.load_full();
+        assert_eq!(*last, (2000, 6000));
+    }
+
+    #[test]
+    fn concurrent_writers_last_publication_wins() {
+        let cell = Arc::new(ArcSwap::from_pointee(0u64));
+        let writers: Vec<_> = (1..=3u64)
+            .map(|w| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        cell.store(Arc::new(w * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        let v = *cell.load_full();
+        assert!((1..=3).contains(&(v / 10_000)) && v % 10_000 == 499);
+    }
+}
