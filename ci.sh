@@ -25,6 +25,19 @@ DISTENC_THREADS=1 cargo test -q --test streaming_equivalence --test live_swap
 echo "==> DISTENC_THREADS=4 cargo test -q --test streaming_equivalence --test live_swap"
 DISTENC_THREADS=4 cargo test -q --test streaming_equivalence --test live_swap
 
+# The sketched-tier gates: the statistical accuracy gate (sketched final
+# RMSE within the documented tolerance of exact on the planted gate
+# workloads — the tolerance constant lives in distenc_eval::accuracy) and
+# the determinism/degeneracy contracts (seeded sampling is bit-identical
+# across executors; samples >= nnz degenerates to exact bit-for-bit).
+# Both run under both thread counts: the sampled schedule is computed on
+# the driver, so the numbers must not move at all.
+echo "==> DISTENC_THREADS=1 cargo test -q --release --test accuracy_gate --test sketched_equivalence"
+DISTENC_THREADS=1 cargo test -q --release --test accuracy_gate --test sketched_equivalence
+
+echo "==> DISTENC_THREADS=4 cargo test -q --release --test accuracy_gate --test sketched_equivalence"
+DISTENC_THREADS=4 cargo test -q --release --test accuracy_gate --test sketched_equivalence
+
 # The allocation-budget gate needs the counting global allocator, which
 # only exists behind the alloc-count feature; it runs the solver itself,
 # so it is kept out of the default feature set (and the two sweeps above).
@@ -32,9 +45,11 @@ echo "==> cargo test -q --features alloc-count --test alloc_budget"
 cargo test -q --features alloc-count --test alloc_budget
 
 # The pass-count gate proves the fused schedule sweeps the nonzeros N
-# times per iteration versus N+1 unfused. Counts tick once per kernel
-# invocation (never per thread/chunk), so this is host-independent; like
-# alloc-count, the instrument stays out of the default feature set.
+# times per iteration versus N+1 unfused, and that a sketch-phase
+# iteration touches exactly N·samples entries (zero full sweeps) versus
+# the exact tier's N·nnz. Counts tick once per kernel invocation (never
+# per thread/chunk), so this is host-independent; like alloc-count, the
+# instrument stays out of the default feature set.
 echo "==> cargo test -q --features pass-count --test pass_count"
 cargo test -q --features pass-count --test pass_count
 

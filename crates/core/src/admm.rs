@@ -16,8 +16,9 @@
 //! Algorithm 3 lines 8–12 are written). This Jacobi ordering is what makes
 //! the mode updates independent — and therefore distributable.
 
-use crate::config::AdmmConfig;
-use crate::solver::{self, HostBackend, ResidualStore, SolverState};
+use crate::config::{AdmmConfig, SolverTier};
+use crate::solver::{self, HostBackend, ResidualStore, SketchedBackend, SolverState};
+use crate::trace::TracePoint;
 use crate::{CompletionResult, CoreError, Result};
 use distenc_dataflow::Executor;
 use distenc_graph::{Laplacian, TruncatedLaplacian};
@@ -237,11 +238,15 @@ pub(crate) fn solve_with(
 }
 
 /// The host driver with residual hand-off: the full streaming-aware
-/// path. `carry = None` reproduces the pre-streaming cold/warm-factor
-/// behavior bit-for-bit (the residual starts stale and the prologue
-/// refreshes it); `carry = Some` reuses the fresh residual — and, when
-/// the support is unchanged, the CSF tree structure — from the previous
-/// solve and skips the prologue refresh.
+/// path, dispatching on [`AdmmConfig::solver_tier`].
+///
+/// * [`SolverTier::Exact`] runs the bit-pinned single-phase solve.
+/// * [`SolverTier::Sketched`] runs the two-phase schedule
+///   ([`solve_sketched`]) — unless a documented fallback applies:
+///   `samples ≥ nnz` (a sample that large can't beat a full sweep; the
+///   exact path is also what makes the degenerate config bit-identical
+///   to `Exact`, which `tests/sketched_equivalence.rs` pins) or
+///   `polish_iters ≥ max_iters` (no sketch-phase budget left).
 pub(crate) fn solve_with_handoff(
     observed: &CooTensor,
     truncated: &[TruncatedLaplacian],
@@ -250,15 +255,41 @@ pub(crate) fn solve_with_handoff(
     carry: Option<ResidualHandoff>,
     clock: impl Fn(usize) -> f64,
 ) -> Result<(CompletionResult, ResidualHandoff)> {
-    let n_modes = observed.order();
+    if let SolverTier::Sketched { samples, polish_iters } = cfg.solver_tier {
+        let sketch_iters = cfg.max_iters.saturating_sub(polish_iters);
+        if samples < observed.nnz() && sketch_iters > 0 {
+            return solve_sketched(
+                observed, truncated, cfg, initial, carry, samples, sketch_iters, clock,
+            );
+        }
+    }
+    solve_exact(observed, truncated, cfg, initial, carry, clock)
+}
 
-    // The per-mode MTTKRP boundaries (Algorithm 2's greedy balancing over
-    // slice loads) are computed once — the support never changes *within*
-    // a solve — and any blocking is bit-exact, so sizing them to the
-    // worker count is free. `parallelism()` (not `threads()`) clamps the
-    // chunk count to the cores actually available, so a `DISTENC_THREADS`
-    // setting above the machine's core count no longer oversplits the
-    // kernels.
+/// Shared host-side setup: the executor, the Algorithm 2 greedy MTTKRP
+/// boundaries, and the residual store (carried or rebuilt) with its
+/// optional CSF trees. Used by both the exact path and the sketch phase
+/// so a tier switch never changes how the problem is laid out.
+///
+/// The per-mode boundaries are computed once — the support never changes
+/// *within* a solve — and any blocking is bit-exact, so sizing them to
+/// the worker count is free. `parallelism()` (not `threads()`) clamps
+/// the chunk count to the cores actually available, so a
+/// `DISTENC_THREADS` setting above the machine's core count does not
+/// oversplit the kernels.
+///
+/// The residual shares the observed support. Cold: its values start
+/// stale (they still hold `T`'s) and the solver refreshes them before
+/// anything reads them. Warm: the carried values are already fresh for
+/// the warm-start model and the prologue is skipped. The optional CSF
+/// trees (§III-C's fiber layout) are reused structurally when the
+/// carried set still matches the support; otherwise rebuilt.
+fn build_host_layout(
+    observed: &CooTensor,
+    cfg: &AdmmConfig,
+    carry: Option<ResidualHandoff>,
+) -> Result<(Executor, Vec<Vec<usize>>, ResidualStore, bool)> {
+    let n_modes = observed.order();
     let exec = Executor::new(cfg.exec);
     let boundaries: Vec<Vec<usize>> = (0..n_modes)
         .map(|n| {
@@ -266,12 +297,6 @@ pub(crate) fn solve_with_handoff(
         })
         .collect();
 
-    // The residual shares the observed support. Cold: its values start
-    // stale (they still hold `T`'s) and solver::run's prologue refreshes
-    // them before anything reads them. Warm: the carried values are
-    // already fresh for `initial` and the prologue is skipped. The
-    // optional CSF trees (§III-C's fiber layout) are reused structurally
-    // when the carried set still matches the support; otherwise rebuilt.
     let residual_fresh = carry.is_some();
     let (e, carried_csf) = match carry {
         Some(c) => (c.e, c.csf),
@@ -294,22 +319,109 @@ pub(crate) fn solve_with_handoff(
     } else {
         Vec::new()
     };
+    Ok((exec, boundaries, ResidualStore::Coo { e, csf }, residual_fresh))
+}
 
+/// The single-phase exact host solve (the pre-tier behavior,
+/// bit-for-bit).
+fn solve_exact(
+    observed: &CooTensor,
+    truncated: &[TruncatedLaplacian],
+    cfg: &AdmmConfig,
+    initial: Option<KruskalTensor>,
+    carry: Option<ResidualHandoff>,
+    clock: impl Fn(usize) -> f64,
+) -> Result<(CompletionResult, ResidualHandoff)> {
+    let (exec, boundaries, store, residual_fresh) = build_host_layout(observed, cfg, carry)?;
     let mut backend = HostBackend::new(observed, &boundaries, cfg.rank, exec, cfg.fused, clock)?;
-    let st = SolverState::new(
-        observed,
-        truncated,
-        cfg,
-        initial,
-        ResidualStore::Coo { e, csf },
-        boundaries,
-    )?;
+    let st = SolverState::new(observed, truncated, cfg, initial, store, boundaries)?;
     let (result, residual) =
         solver::run(observed, truncated, cfg, &mut backend, st, residual_fresh)?;
     let ResidualStore::Coo { e, csf } = residual else {
         return Err(CoreError::Invalid("host solve produced a non-COO residual".into()));
     };
     Ok((result, ResidualHandoff { e, csf }))
+}
+
+/// The two-phase sketched solve: `sketch_iters` sampled iterations on
+/// the [`SketchedBackend`], then the remaining `max_iters − sketch_iters`
+/// exact polish iterations on the [`HostBackend`], warm-started through
+/// the same [`ResidualHandoff`] machinery the streaming path uses.
+///
+/// The hand-off between the phases is free: the sketch phase's final
+/// `fused_step` performs a full exact residual refresh (the
+/// [`ResidualHandoff`] invariant), so the polish phase skips its
+/// prologue rebuild and starts directly on fresh values. Both phases
+/// stamp trace points through the same `clock` closure, so `seconds` is
+/// cumulative across the whole solve; the polish phase's trace points
+/// are renumbered to continue the sketch phase's iteration count. Trace
+/// `train_rmse` during the sketch phase is the *sampled estimate* of the
+/// true RMSE (unbiased in the squared norm); the polish phase's points —
+/// including the final one — are exact.
+#[allow(clippy::too_many_arguments)]
+fn solve_sketched(
+    observed: &CooTensor,
+    truncated: &[TruncatedLaplacian],
+    cfg: &AdmmConfig,
+    initial: Option<KruskalTensor>,
+    carry: Option<ResidualHandoff>,
+    samples: usize,
+    sketch_iters: usize,
+    clock: impl Fn(usize) -> f64,
+) -> Result<(CompletionResult, ResidualHandoff)> {
+    // Phase A: sampled iterations. The config keeps every solver knob
+    // except the iteration budget; the sketched backend ignores the
+    // `fused` ablation flag (its fused sampled sweep *is* the schedule —
+    // there is no unfused sampled path to ablate against).
+    let cfg_a = AdmmConfig { max_iters: sketch_iters, ..cfg.clone() };
+    let (exec, boundaries, store, residual_fresh) = build_host_layout(observed, &cfg_a, carry)?;
+    let mut backend_a =
+        SketchedBackend::new(observed, samples, cfg.rank, exec, cfg.seed, &clock)?;
+    let st = SolverState::new(observed, truncated, &cfg_a, initial, store, boundaries)?;
+    let (res_a, residual) =
+        solver::run(observed, truncated, &cfg_a, &mut backend_a, st, residual_fresh)?;
+    let ResidualStore::Coo { e, csf } = residual else {
+        return Err(CoreError::Invalid("sketched solve produced a non-COO residual".into()));
+    };
+    let handoff = ResidualHandoff { e, csf };
+
+    // Phase B: exact polish, warm-started from the sketch phase's model
+    // and (fresh) residual. `polish_iters = 0` is legal: the fallback in
+    // `solve_with_handoff` only guards the sketch budget, so a zero
+    // polish config returns the sketch phase's result directly.
+    let polish_iters = cfg.max_iters - sketch_iters;
+    let cfg_b = AdmmConfig {
+        max_iters: polish_iters,
+        solver_tier: SolverTier::Exact,
+        ..cfg.clone()
+    };
+    let (res_b, handoff) = solve_exact(
+        observed,
+        truncated,
+        &cfg_b,
+        Some(res_a.model),
+        Some(handoff),
+        &clock,
+    )?;
+
+    // Merge the phases into one result: polish trace points continue the
+    // sketch phase's iteration numbering, iteration counts add, and the
+    // convergence flag is the polish phase's (the sketch phase's flag
+    // only matters when there is no polish to run).
+    let offset = res_a.iterations;
+    let mut trace = res_a.trace;
+    trace.points.reserve(res_b.trace.points.len());
+    for p in res_b.trace.points {
+        trace.push(TracePoint { iter: offset + p.iter, ..p });
+    }
+    let converged = if res_b.iterations > 0 { res_b.converged } else { res_a.converged };
+    let result = CompletionResult {
+        model: res_b.model,
+        trace,
+        iterations: offset + res_b.iterations,
+        converged,
+    };
+    Ok((result, handoff))
 }
 
 

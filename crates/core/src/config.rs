@@ -1,5 +1,96 @@
 //! Hyper-parameters of the ADMM completion solvers.
 
+/// How many exact polish iterations a sketched solve runs by default
+/// (the tail of the iteration budget handed to [`crate::AdmmSolver`]'s
+/// exact backend).
+pub const DEFAULT_POLISH_ITERS: usize = 8;
+
+/// Which solver tier executes the per-iteration kernels.
+///
+/// `Exact` is the bit-pinned reference path (every golden trace and
+/// equivalence proptest runs it). `Sketched` is the first *approximate*
+/// tier: per-mode MTTKRPs are estimated from a deterministic seeded
+/// sample of the nonzeros (`O(samples·N·R)` per iteration instead of
+/// `O(nnz·N·R)`), and the final `polish_iters` iterations hand off to the
+/// exact host backend so the returned model and RMSE are exact-path
+/// artifacts. Its accuracy contract is statistical, not bitwise — the
+/// accuracy gate (`tests/accuracy_gate.rs`, tolerance constant in
+/// `distenc_eval::accuracy`) pins final-RMSE parity with the exact
+/// solver.
+///
+/// Documented fallbacks (never errors, never panics):
+/// * `samples ≥ nnz` — sampling cannot beat a full sweep, so the whole
+///   run degenerates to the exact tier, bit-identical to `Exact`.
+/// * `polish_iters ≥ max_iters` — no sketch phase remains; ditto.
+/// * the distributed [`crate::DisTenC`] driver — Algorithm 3's virtual
+///   cluster models the exact schedule only, so it always runs `Exact`
+///   whatever the config says.
+/// * combined with [`AdmmConfig::fused`] — the sketch phase always runs
+///   its own fused sampled sweep (the flag is an exact-path schedule
+///   switch); the polish phase honors the flag as usual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverTier {
+    /// The exact reference path (the default).
+    Exact,
+    /// Sampled MTTKRP steps followed by an exact polish phase.
+    Sketched {
+        /// Entries drawn per sampled kernel step (must be ≥ 1).
+        samples: usize,
+        /// Trailing iterations run on the exact backend.
+        polish_iters: usize,
+    },
+}
+
+impl SolverTier {
+    /// The tier requested by the `DISTENC_TIER` environment variable:
+    /// `exact` (or unset) for [`SolverTier::Exact`];
+    /// `sketched[:SAMPLES[:POLISH]]` for [`SolverTier::Sketched`] (with
+    /// `SAMPLES` defaulting to 4096 draws and `POLISH` to
+    /// [`DEFAULT_POLISH_ITERS`]). Unparseable values fall back to
+    /// `Exact`, mirroring how `DISTENC_THREADS` falls back to the
+    /// sequential backend.
+    pub fn from_env() -> SolverTier {
+        match std::env::var("DISTENC_TIER") {
+            Ok(raw) => SolverTier::parse(&raw),
+            Err(_) => SolverTier::Exact,
+        }
+    }
+
+    /// Parse a `DISTENC_TIER`-style spec (see [`SolverTier::from_env`]).
+    pub fn parse(raw: &str) -> SolverTier {
+        let mut parts = raw.trim().split(':');
+        match parts.next().map(str::trim) {
+            Some("sketched") => {
+                let samples = parts
+                    .next()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+                    .unwrap_or(4096);
+                let polish_iters = parts
+                    .next()
+                    .and_then(|s| s.trim().parse::<usize>().ok())
+                    .unwrap_or(DEFAULT_POLISH_ITERS);
+                SolverTier::Sketched { samples, polish_iters }
+            }
+            _ => SolverTier::Exact,
+        }
+    }
+
+    /// Whether this tier is the sketched one.
+    pub fn is_sketched(&self) -> bool {
+        matches!(self, SolverTier::Sketched { .. })
+    }
+}
+
+impl Default for SolverTier {
+    /// The default comes from the environment (see
+    /// [`SolverTier::from_env`]), so `DISTENC_TIER=sketched cargo run`
+    /// flips the tier without touching any call site — the same pattern
+    /// `DISTENC_THREADS` uses for the execution backend.
+    fn default() -> Self {
+        SolverTier::from_env()
+    }
+}
+
 /// Configuration shared by [`crate::AdmmSolver`] (Algorithm 1) and
 /// [`crate::DisTenC`] (Algorithm 3). Field names follow the paper's
 /// symbols.
@@ -51,6 +142,11 @@ pub struct AdmmConfig {
     /// the exact same floating-point folds — so this is on by default;
     /// the switch exists for the ablation and the pass-count gate.
     pub fused: bool,
+    /// Which solver tier runs the per-iteration kernels (see
+    /// [`SolverTier`]): the bit-pinned exact path, or the sampled
+    /// sketched tier with an exact final polish. Defaults from the
+    /// `DISTENC_TIER` environment variable (unset ⇒ exact).
+    pub solver_tier: SolverTier,
 }
 
 impl Default for AdmmConfig {
@@ -71,6 +167,7 @@ impl Default for AdmmConfig {
             use_csf: false,
             exec: distenc_dataflow::ExecMode::default(),
             fused: true,
+            solver_tier: SolverTier::default(),
         }
     }
 }
@@ -124,6 +221,21 @@ impl AdmmConfig {
         self
     }
 
+    /// Builder-style solver-tier override (see [`SolverTier`]).
+    pub fn with_tier(mut self, tier: SolverTier) -> Self {
+        self.solver_tier = tier;
+        self
+    }
+
+    /// Builder-style sketched-tier shorthand: `samples` draws per sampled
+    /// step and the default exact polish tail
+    /// ([`DEFAULT_POLISH_ITERS`]).
+    pub fn with_sketched(mut self, samples: usize) -> Self {
+        self.solver_tier =
+            SolverTier::Sketched { samples, polish_iters: DEFAULT_POLISH_ITERS };
+        self
+    }
+
     /// Sanity-check parameter ranges, returning a description of the first
     /// violation.
     pub fn validate(&self) -> std::result::Result<(), String> {
@@ -144,6 +256,11 @@ impl AdmmConfig {
         }
         if !(self.tol.is_finite() && self.tol > 0.0) {
             return Err("tol must be positive".into());
+        }
+        if let SolverTier::Sketched { samples, .. } = self.solver_tier {
+            if samples == 0 {
+                return Err("sketched tier needs samples ≥ 1".into());
+            }
         }
         Ok(())
     }
@@ -189,5 +306,38 @@ mod tests {
             .is_err());
         assert!(AdmmConfig { max_iters: 0, ..Default::default() }.validate().is_err());
         assert!(AdmmConfig { tol: f64::NAN, ..Default::default() }.validate().is_err());
+        assert!(AdmmConfig::default().with_sketched(0).validate().is_err());
+    }
+
+    #[test]
+    fn tier_spec_parses() {
+        assert_eq!(SolverTier::parse("exact"), SolverTier::Exact);
+        assert_eq!(SolverTier::parse("nonsense"), SolverTier::Exact);
+        assert_eq!(
+            SolverTier::parse("sketched"),
+            SolverTier::Sketched { samples: 4096, polish_iters: DEFAULT_POLISH_ITERS }
+        );
+        assert_eq!(
+            SolverTier::parse(" sketched:512 "),
+            SolverTier::Sketched { samples: 512, polish_iters: DEFAULT_POLISH_ITERS }
+        );
+        assert_eq!(
+            SolverTier::parse("sketched:512:3"),
+            SolverTier::Sketched { samples: 512, polish_iters: 3 }
+        );
+    }
+
+    #[test]
+    fn sketched_builders_chain() {
+        let c = AdmmConfig::default()
+            .with_tier(SolverTier::Sketched { samples: 100, polish_iters: 2 });
+        assert_eq!(c.solver_tier, SolverTier::Sketched { samples: 100, polish_iters: 2 });
+        assert!(c.solver_tier.is_sketched());
+        let c = AdmmConfig::default().with_sketched(777);
+        assert_eq!(
+            c.solver_tier,
+            SolverTier::Sketched { samples: 777, polish_iters: DEFAULT_POLISH_ITERS }
+        );
+        assert!(c.validate().is_ok());
     }
 }

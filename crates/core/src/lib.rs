@@ -37,7 +37,7 @@ pub(crate) mod solver;
 pub mod trace;
 
 pub use admm::{AdmmSolver, ResidualHandoff};
-pub use config::AdmmConfig;
+pub use config::{AdmmConfig, SolverTier, DEFAULT_POLISH_ITERS};
 pub use distenc::DisTenC;
 pub use model::{MethodModel, RunOutcome, WorkloadSpec};
 pub use objective::{primal_objective, Objective};
@@ -45,15 +45,30 @@ pub use trace::{ConvergenceTrace, TracePoint};
 
 use distenc_tensor::KruskalTensor;
 
-/// One tick on the pass-count instrument per full entry-list sweep the
-/// *cluster backend* performs locally (the host backend's sweeps are
-/// recorded by the `distenc-tensor` kernels themselves). Compiles to
-/// nothing without the `pass-count` feature; one tick per kernel
-/// invocation, never per block or thread, so counts are host-independent.
+/// One tick on the pass-count instrument per full entry-list sweep over
+/// `entries` nonzeros the *cluster backend* performs locally (the host
+/// backend's sweeps are recorded by the `distenc-tensor` kernels
+/// themselves). Compiles to nothing without the `pass-count` feature; one
+/// tick per kernel invocation, never per block or thread, so counts are
+/// host-independent.
 #[inline]
-pub(crate) fn record_entry_sweep() {
+pub(crate) fn record_entry_sweep(entries: usize) {
     #[cfg(feature = "pass-count")]
-    distenc_dataflow::passes::record_sweep();
+    distenc_dataflow::passes::record_sweep(entries);
+    #[cfg(not(feature = "pass-count"))]
+    let _ = entries;
+}
+
+/// Record a sampled partial gather over `entries` nonzeros on the
+/// entries-touched counter (no sweep tick — a sampled gather is not a
+/// full traversal). Used by the sketched solver tier; compiles to nothing
+/// without the `pass-count` feature.
+#[inline]
+pub(crate) fn record_entry_gather(entries: usize) {
+    #[cfg(feature = "pass-count")]
+    distenc_dataflow::passes::record_gather(entries);
+    #[cfg(not(feature = "pass-count"))]
+    let _ = entries;
 }
 
 /// Errors from the completion solvers.

@@ -248,7 +248,7 @@ impl StepBackend for ClusterBackend<'_> {
             self.h0_ready = false;
             out.as_mut_slice().copy_from_slice(self.h0.as_slice());
         } else {
-            crate::record_entry_sweep();
+            crate::record_entry_sweep(blocks.iter().map(|b| b.entries.nnz()).sum());
             // Algorithm 2's block boundaries double as the parallel work
             // decomposition: blocks sharing a mode-`mode` partition
             // coordinate write the same output row range, so they form one
@@ -357,7 +357,7 @@ impl StepBackend for ClusterBackend<'_> {
         };
         // This stage reads every mode's factor rows at each block.
         self.charge_factor_fetch(None)?;
-        crate::record_entry_sweep();
+        crate::record_entry_sweep(blocks.iter().map(|b| b.entries.nnz()).sum());
         // Residual entries are independent, so one task per block on the
         // executor is bit-exact regardless of scheduling.
         self.cl.executor().run_mut(blocks, |_, b| {
@@ -394,7 +394,7 @@ impl StepBackend for ClusterBackend<'_> {
             ));
         };
         self.charge_factor_fetch(None)?;
-        crate::record_entry_sweep();
+        crate::record_entry_sweep(blocks.iter().map(|b| b.entries.nnz()).sum());
         let rank = self.rank;
         // Mode-0 work groups partition the blocks (every block has exactly
         // one mode-0 coordinate), so sweeping group-by-group visits each

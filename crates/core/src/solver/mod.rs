@@ -50,9 +50,11 @@ use distenc_tensor::{CooTensor, CsfTensor, KruskalTensor};
 
 pub(crate) mod cluster;
 pub(crate) mod host;
+pub(crate) mod sketched;
 
 pub(crate) use cluster::{BlockMeta, ClusterBackend};
 pub(crate) use host::HostBackend;
+pub(crate) use sketched::SketchedBackend;
 
 /// The residual tensor `E = Ω∗(T − [[A…]])` in whichever layout the
 /// driver's decomposition needs. The values are refreshed in place every

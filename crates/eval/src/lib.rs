@@ -15,6 +15,9 @@
 //! * [`discovery`] — top-k concept extraction and purity scoring for
 //!   Table III;
 //! * [`ablation`] — ablations of the paper's three key insights;
+//! * [`accuracy`] — the statistical accuracy gate for the sketched
+//!   solver tier (tolerance constant, planted workloads, tier
+//!   comparison and sample-efficiency helpers);
 //! * [`calibrate`] — engine-vs-model fidelity measurement;
 //! * [`table`] — plain-text rendering used by the `distenc-bench`
 //!   binaries.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod accuracy;
 pub mod calibrate;
 pub mod discovery;
 pub mod figures;

@@ -10,6 +10,8 @@
 //!   `(UᵀU + λI + ηI)⁻¹`-style systems in Algorithm 1 / Algorithm 3.
 //! * [`eigen`] — a cyclic Jacobi eigensolver for small dense symmetric
 //!   matrices.
+//! * [`sketch`] — scratch and row kernels for the sampled least-squares
+//!   estimators of the sketched solver tier.
 //! * [`tridiag`] — implicit-shift QL for symmetric tridiagonal matrices,
 //!   the inner solver of Lanczos.
 //! * [`lanczos`] — truncated Lanczos with full reorthogonalization over an
@@ -24,6 +26,7 @@ pub mod chol;
 pub mod eigen;
 pub mod lanczos;
 pub mod mat;
+pub mod sketch;
 pub mod tridiag;
 pub mod vec_ops;
 
@@ -31,6 +34,7 @@ pub use chol::Cholesky;
 pub use eigen::{jacobi_eigen, EigenPairs};
 pub use lanczos::{lanczos_smallest, LinOp};
 pub use mat::Mat;
+pub use sketch::SketchScratch;
 
 /// Errors produced by the linear-algebra kernels.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,119 @@
+//! Scratch and row kernels for sampled (sketched) least-squares steps.
+//!
+//! The sketched solver tier estimates the sparse MTTKRP from a sampled
+//! subset of entries: for each sampled entry it forms the Hadamard
+//! product of one row from every factor but the output mode, evaluates
+//! the model at the entry through that same partial product, and
+//! accumulates the importance-weighted row into the output. This module
+//! owns the per-draw scratch ([`SketchScratch`]) and the two row kernels
+//! ([`hadamard_rows_skip_into`], [`vec_ops::dot`]) so a steady-state
+//! sampled step allocates nothing.
+//!
+//! [`vec_ops::dot`]: crate::vec_ops::dot
+
+use crate::mat::Mat;
+use crate::{LinalgError, Result};
+
+/// Preallocated scratch for one sampled least-squares estimator: the
+/// `R`-vector holding the partial Hadamard row product. Sized once at
+/// backend construction and reused for every draw.
+#[derive(Debug, Clone)]
+pub struct SketchScratch {
+    /// The partial Hadamard product `⊛_{k≠skip} A⁽ᵏ⁾(i_k, :)`.
+    pub had: Vec<f64>,
+}
+
+impl SketchScratch {
+    /// Scratch for rank-`r` factors.
+    pub fn new(r: usize) -> Self {
+        SketchScratch { had: vec![0.0; r] }
+    }
+}
+
+/// Write the Hadamard product of one row from every factor except
+/// `skip` into `out`: `out[r] = Π_{k≠skip} factors[k](idx[k], r)`.
+///
+/// Factors are visited in ascending `k` — the same association order the
+/// exact MTTKRP kernels use — so a sampled estimate accumulates its row
+/// products in the identical per-entry sequence.
+pub fn hadamard_rows_skip_into(
+    factors: &[Mat],
+    skip: usize,
+    idx: &[usize],
+    out: &mut [f64],
+) -> Result<()> {
+    if idx.len() != factors.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "hadamard_rows_skip_into",
+            lhs: (idx.len(), 1),
+            rhs: (factors.len(), 1),
+        });
+    }
+    let r = out.len();
+    out.fill(1.0);
+    for (k, f) in factors.iter().enumerate() {
+        if k == skip {
+            continue;
+        }
+        if f.cols() != r {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hadamard_rows_skip_into",
+                lhs: f.shape(),
+                rhs: (r, 1),
+            });
+        }
+        let row = f.row(idx[k]);
+        for (o, &a) in out.iter_mut().zip(row) {
+            *o *= a;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::dot;
+
+    fn mat(rows: usize, cols: usize, base: f64) -> Mat {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, base + (i * cols + j) as f64 * 0.25);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn skips_exactly_the_requested_factor() {
+        let f = [mat(3, 2, 1.0), mat(4, 2, 2.0), mat(5, 2, 3.0)];
+        let idx = [1, 2, 3];
+        let mut out = vec![0.0; 2];
+        hadamard_rows_skip_into(&f, 1, &idx, &mut out).unwrap();
+        for r in 0..2 {
+            let want = f[0].row(1)[r] * f[2].row(3)[r];
+            assert_eq!(out[r], want);
+        }
+        // Completing the product with the skipped row reproduces the full
+        // model evaluation — the identity the sketched backend exploits.
+        let full = dot(&out, f[1].row(2));
+        let mut all = vec![0.0; 2];
+        hadamard_rows_skip_into(&f, usize::MAX, &idx, &mut all).unwrap();
+        assert!((full - (all[0] + all[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatches_are_errors() {
+        let f = [mat(3, 2, 1.0), mat(4, 2, 2.0)];
+        let mut out = vec![0.0; 2];
+        assert!(hadamard_rows_skip_into(&f, 0, &[1], &mut out).is_err());
+        let mut wrong = vec![0.0; 3];
+        assert!(hadamard_rows_skip_into(&f, 0, &[1, 1], &mut wrong).is_err());
+    }
+
+    #[test]
+    fn scratch_sizes_to_rank() {
+        assert_eq!(SketchScratch::new(7).had.len(), 7);
+    }
+}

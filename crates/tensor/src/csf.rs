@@ -205,7 +205,7 @@ impl CsfTensor {
                 self.shape[root]
             )));
         }
-        crate::record_entry_sweep();
+        crate::record_entry_sweep(self.nnz());
         h.fill(0.0);
         let mut scratch = vec![0.0; rank];
         for (node, _) in self.levels[0].ids.iter().enumerate() {
@@ -309,7 +309,7 @@ impl CsfTensor {
                 self.shape[root]
             )));
         }
-        crate::record_entry_sweep();
+        crate::record_entry_sweep(self.nnz());
         h.fill(0.0);
         let order = self.shape.len();
         let mut walk = FusedWalk {

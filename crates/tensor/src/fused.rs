@@ -279,7 +279,7 @@ pub fn fused_mttkrp_refresh(
     mode: usize,
 ) -> Result<(CooTensor, Mat, f64)> {
     validate(observed, model.factors(), mode)?;
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(observed.nnz());
     let r = model.rank();
     let mut e = observed.clone();
     let mut h = Mat::zeros(observed.shape()[mode], r);
@@ -329,7 +329,7 @@ pub fn fused_mttkrp_refresh_into(
             ws.parts[0].slab.cols()
         )));
     }
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(observed.nnz());
     let factors = model.factors();
     if exec.parallelism() <= 1 || ws.parts.len() <= 1 {
         let scratch = &mut ws.parts[0].scratch;

@@ -17,6 +17,8 @@
 //!   matricizations, used as small-scale oracles in tests,
 //! * [`residual`] — the sparse residual tensor `E = Ω∗(T − [[A…]])`
 //!   (Eq. 14) that keeps every iteration `O(nnz)`,
+//! * [`sample`] — deterministic norm-proportional entry sampling, the
+//!   randomization behind the sketched solver tier,
 //! * [`dense`] — a tiny dense tensor for test oracles,
 //! * [`ttm`] — the n-mode tensor-matrix product (Definition 2.1.5),
 //! * [`split`] — train/test splitting by missing rate,
@@ -33,6 +35,7 @@ pub mod khatri_rao;
 pub mod kruskal;
 pub mod mttkrp;
 pub mod residual;
+pub mod sample;
 pub mod split;
 pub mod ttm;
 
@@ -41,14 +44,17 @@ pub use csf::CsfTensor;
 pub use dense::DenseTensor;
 pub use kruskal::KruskalTensor;
 
-/// One tick on the pass-count instrument per full entry-list sweep (see
-/// `distenc_dataflow::passes`); compiles to nothing without the
-/// `pass-count` feature. Called once per kernel invocation — never per
-/// thread or chunk — so counts are host-independent.
+/// One tick on the pass-count instrument per full entry-list sweep over
+/// `entries` nonzeros (see `distenc_dataflow::passes`); compiles to
+/// nothing without the `pass-count` feature. Called once per kernel
+/// invocation — never per thread or chunk — so counts are
+/// host-independent.
 #[inline]
-pub(crate) fn record_entry_sweep() {
+pub(crate) fn record_entry_sweep(entries: usize) {
     #[cfg(feature = "pass-count")]
-    distenc_dataflow::passes::record_sweep();
+    distenc_dataflow::passes::record_sweep(entries);
+    #[cfg(not(feature = "pass-count"))]
+    let _ = entries;
 }
 
 /// Errors produced by tensor operations.

@@ -48,7 +48,7 @@ pub(crate) fn dispatch_rank<K: RankKernel>(rank: usize, kernel: K) -> K::Out {
 /// granularity of SPLATT the paper adopts.
 pub fn mttkrp(x: &CooTensor, factors: &[Mat], mode: usize) -> Result<Mat> {
     validate(x, factors, mode)?;
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(x.nnz());
     let r = factors[0].cols();
     let mut h = Mat::zeros(x.shape()[mode], r);
     let mut scratch = vec![0.0; r];
@@ -104,7 +104,7 @@ pub fn mttkrp_blocked(
         )));
     }
     let r = factors[0].cols();
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(x.nnz());
     // Bucket entry positions by owning part. The forward scan keeps each
     // bucket in original entry order — the load-bearing step for
     // bit-exactness (see above).
@@ -367,7 +367,7 @@ pub fn mttkrp_blocked_into(
             h.shape()
         )));
     }
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(x.nnz());
     exec.run_mut(&mut ws.parts, |_, part| {
         dispatch_rank(r, BucketSweep { x, factors, mode, part });
     });

@@ -31,7 +31,7 @@ pub fn residual(observed: &CooTensor, model: &KruskalTensor) -> Result<CooTensor
             model.shape()
         )));
     }
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(observed.nnz());
     let mut e = CooTensor::new(observed.shape().to_vec());
     e.reserve(observed.nnz());
     for (idx, v) in observed.iter() {
@@ -52,7 +52,7 @@ pub fn residual_into(
         *e = residual(observed, model)?;
         return Ok(());
     }
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(observed.nnz());
     for i in 0..observed.nnz() {
         let idx = observed.index(i);
         let v = observed.value(i) - model.eval(idx);
@@ -85,7 +85,7 @@ pub fn residual_into_exec(
         }
         *e = observed.clone();
     }
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(observed.nnz());
     // Chunk by deliverable concurrency, not the configured thread count:
     // oversplitting past the host's cores only adds dispatch overhead
     // (any chunking is bit-exact, see above).
@@ -167,7 +167,7 @@ pub fn residual_refresh_exec(
             "residual refresh requires a residual sharing the observed support".into(),
         ));
     }
-    crate::record_entry_sweep();
+    crate::record_entry_sweep(observed.nnz());
     if exec.parallelism() <= 1 {
         let vals = e.values_mut();
         for (i, v) in vals.iter_mut().enumerate() {

@@ -1,0 +1,175 @@
+//! Deterministic weighted entry sampling for the sketched solver tier.
+//!
+//! Bharadwaj et al.'s randomized sparse CP (arXiv 2210.05105) replaces
+//! the exact per-mode least squares with a leverage-score–sampled one.
+//! This module provides the sampling half of that idea for the residual
+//! MTTKRP: an [`EntrySampler`] holds a fixed importance distribution over
+//! a tensor's nonzero *entries* and draws i.i.d. index sets from a caller
+//! seeded RNG.
+//!
+//! **Weights.** True Khatri-Rao leverage scores change every iteration
+//! (they depend on the current factors); recomputing them would cost the
+//! very `O(nnz·R)` the sketch is trying to avoid. We use the standard
+//! static proxy: norm-proportional weights `w_i ∝ t_i²` over the observed
+//! values, mixed half-and-half with the uniform distribution so every
+//! entry keeps probability ≥ `1/(2·nnz)` — the mixing term bounds the
+//! importance ratios, which keeps the estimator's variance finite
+//! whatever the value skew. An all-zero tensor degrades to pure uniform.
+//!
+//! **Determinism contract.** The distribution is a pure function of the
+//! tensor's values, and [`EntrySampler::draw_into`] consumes the caller's
+//! RNG in a fixed sequential order — one `f64` per draw, binary-searched
+//! against the cumulative table. Same tensor + same seed ⇒ bit-identical
+//! index sets on every host and under every `DISTENC_THREADS` setting
+//! (the sampler never touches an executor). The sketched golden trace
+//! pins this schedule against silent drift.
+
+use crate::coo::CooTensor;
+use crate::{Result, TensorError};
+use rand::Rng;
+
+/// A fixed importance distribution over a tensor's nonzero entries
+/// (norm-proportional with a uniform floor — see the module docs), with
+/// cumulative weights precomputed for `O(log nnz)` draws.
+#[derive(Debug, Clone)]
+pub struct EntrySampler {
+    /// `probs[i]` = probability of entry position `i`; all strictly
+    /// positive and summing to 1 (up to rounding).
+    probs: Vec<f64>,
+    /// Exclusive prefix sums of `probs`, ascending; `cum[0] == 0.0`.
+    cum: Vec<f64>,
+}
+
+impl EntrySampler {
+    /// Build the norm-proportional sampler for `x`'s entries:
+    /// `p_i = ½·(1/nnz) + ½·(t_i²/‖T‖²_F)` (pure uniform if `‖T‖ = 0`).
+    pub fn norm_proportional(x: &CooTensor) -> Result<Self> {
+        let nnz = x.nnz();
+        if nnz == 0 {
+            return Err(TensorError::ShapeMismatch(
+                "cannot build an entry sampler over an empty tensor".into(),
+            ));
+        }
+        let total: f64 = x.values().iter().map(|v| v * v).sum();
+        let uniform = 1.0 / nnz as f64;
+        let probs: Vec<f64> = if total > 0.0 && total.is_finite() {
+            x.values().iter().map(|v| 0.5 * uniform + 0.5 * (v * v) / total).collect()
+        } else {
+            vec![uniform; nnz]
+        };
+        let mut cum = Vec::with_capacity(nnz);
+        let mut acc = 0.0;
+        for &p in &probs {
+            cum.push(acc);
+            acc += p;
+        }
+        Ok(EntrySampler { probs, cum })
+    }
+
+    /// Number of entries in the underlying distribution.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the distribution is empty (never true for a constructed
+    /// sampler; present for the conventional `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of entry position `i` under this distribution.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Draw `count` i.i.d. entry positions into `out` (cleared first).
+    ///
+    /// Each draw consumes exactly one `f64` from `rng` and inverts the
+    /// cumulative table by binary search, so the draw sequence — and
+    /// therefore the whole sampled schedule — is a deterministic function
+    /// of the RNG state. Duplicates are expected (sampling is with
+    /// replacement, as the unbiased importance estimator requires).
+    pub fn draw_into<R: Rng>(&self, rng: &mut R, count: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            let u: f64 = rng.random::<f64>();
+            // partition_point returns how many cum[i] ≤ u; cum[0] = 0 and
+            // u ∈ [0,1), so the result is in 1..=len — subtract one for
+            // the owning entry. Rounding in the prefix sums can leave
+            // cum's last step slightly short of 1.0; the min() clamp keeps
+            // a tail draw in range.
+            let pos = self.cum.partition_point(|&c| c <= u) - 1;
+            out.push(pos.min(self.probs.len() - 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tensor(values: &[f64]) -> CooTensor {
+        let mut t = CooTensor::new(vec![values.len(), 2]);
+        for (i, &v) in values.iter().enumerate() {
+            t.push(&[i, i % 2], v).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_floor_holds() {
+        let t = tensor(&[3.0, 0.0, -1.0, 0.5]);
+        let s = EntrySampler::norm_proportional(&t).unwrap();
+        let total: f64 = (0..s.len()).map(|i| s.prob(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "sum {total}");
+        let floor = 0.5 / t.nnz() as f64;
+        for i in 0..s.len() {
+            assert!(s.prob(i) >= floor - 1e-15, "entry {i} below uniform floor");
+        }
+        // The large-value entry must dominate the zero entry.
+        assert!(s.prob(0) > s.prob(1));
+    }
+
+    #[test]
+    fn zero_tensor_falls_back_to_uniform() {
+        let t = tensor(&[0.0, 0.0, 0.0]);
+        let s = EntrySampler::norm_proportional(&t).unwrap();
+        for i in 0..3 {
+            assert!((s.prob(i) - 1.0 / 3.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_tensor_rejected() {
+        let t = CooTensor::new(vec![4, 4]);
+        assert!(EntrySampler::norm_proportional(&t).is_err());
+    }
+
+    #[test]
+    fn draws_are_deterministic_for_a_seed() {
+        let t = tensor(&[1.0, 4.0, 2.0, 0.25, 9.0]);
+        let s = EntrySampler::norm_proportional(&t).unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        s.draw_into(&mut StdRng::seed_from_u64(7), 64, &mut a);
+        s.draw_into(&mut StdRng::seed_from_u64(7), 64, &mut b);
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        s.draw_into(&mut StdRng::seed_from_u64(8), 64, &mut c);
+        assert_ne!(a, c, "different seeds should give different draws");
+        assert!(a.iter().all(|&p| p < t.nnz()));
+    }
+
+    #[test]
+    fn heavy_entries_are_drawn_more_often() {
+        let t = tensor(&[10.0, 0.1, 0.1, 0.1]);
+        let s = EntrySampler::norm_proportional(&t).unwrap();
+        let mut draws = Vec::new();
+        s.draw_into(&mut StdRng::seed_from_u64(3), 4000, &mut draws);
+        let heavy = draws.iter().filter(|&&p| p == 0).count();
+        // p₀ ≈ 0.5·(1/4) + 0.5·(100/100.03) ≈ 0.625.
+        assert!(heavy > 2000, "heavy entry drawn {heavy}/4000 times");
+    }
+}

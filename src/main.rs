@@ -69,6 +69,11 @@ USAGE:
                    [--iters T] [--tol EPS] [--eigen-k K] [--seed S] [--nonneg]
                    [--threads N]      (N >= 2 enables the thread-pool backend;
                                        results are bit-identical either way)
+                   [--sketched] [--samples N] [--polish P]
+                                      (sampled MTTKRP tier: N draws per step,
+                                       last P iterations polished exactly;
+                                       DISTENC_TIER=sketched[:N[:P]] is the
+                                       env equivalent)
   distenc stream   --input FILE --delta FILE.. --rank R --out MODEL
                    [--iters T] [--budget-iters T] [--tol EPS] [--seed S]
                    (each --delta is a COO file; entries on observed cells
@@ -181,12 +186,39 @@ fn read_similarity(path: &str) -> Result<SparseSym, String> {
 }
 
 fn cmd_complete(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, &["nonneg"])?;
+    let opts = parse_opts(args, &["nonneg", "sketched"])?;
     let input = req(&opts, "input")?;
     let out = req(&opts, "out")?;
     let observed = io::read_coo_file(input).map_err(|e| e.to_string())?;
 
+    // --sketched [--samples N] [--polish P] selects the sampled solver
+    // tier; without the flag the DISTENC_TIER-driven default applies
+    // (and --samples/--polish refine it when that default is sketched).
+    let solver_tier = {
+        let default = distenc::core::SolverTier::default();
+        if opts.contains_key("sketched") || default.is_sketched() {
+            let (mut samples, mut polish_iters) = match default {
+                distenc::core::SolverTier::Sketched { samples, polish_iters } => {
+                    (samples, polish_iters)
+                }
+                distenc::core::SolverTier::Exact => {
+                    (4096, distenc::core::DEFAULT_POLISH_ITERS)
+                }
+            };
+            if let Some(s) = opts.get("samples") {
+                samples = parse_num(s, "samples")?;
+            }
+            if let Some(p) = opts.get("polish") {
+                polish_iters = parse_num(p, "polish")?;
+            }
+            distenc::core::SolverTier::Sketched { samples, polish_iters }
+        } else {
+            distenc::core::SolverTier::Exact
+        }
+    };
+
     let cfg = AdmmConfig {
+        solver_tier,
         rank: parse_num(req(&opts, "rank")?, "rank")?,
         lambda: opts.get("lambda").map_or(Ok(0.1), |s| parse_num(s, "lambda"))?,
         alpha: opts.get("alpha").map_or(Ok(1.0), |s| parse_num(s, "alpha"))?,

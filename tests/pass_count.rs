@@ -12,15 +12,28 @@
 //! * **N** times fused — N−1 MTTKRPs, one fused refresh+MTTKRP sweep, and
 //!   a mode-0 update served from the stash without touching the entries.
 //!
+//! Alongside sweeps, the instrument counts **entries touched**, which is
+//! what prices the sketched tier: a sampled gather of `S` draws charges
+//! `S` entries but zero sweeps (it never traverses the full list). A
+//! steady-state *sketch-phase* iteration therefore touches exactly
+//! `N·samples` entries — `N−1` sampled MTTKRPs plus one fused sampled
+//! sweep that banks the mode-0 estimate — where an exact fused iteration
+//! touches `N·nnz`. The gate below pins both counts exactly and the
+//! `≥ 2×` discount at the accuracy gate's `samples = nnz/4` budget.
+//!
 //! Methodology mirrors `tests/alloc_budget.rs`: the solver is
 //! deterministic, so runs differing only in `max_iters` (2 vs 10) do
 //! identical setup; the sweep-count difference over the 8 extra
-//! iterations is exactly the per-iteration cost. One `#[test]` because
-//! the counter is process-global.
+//! iterations is exactly the per-iteration cost. For the sketched tier
+//! the polish budget is held fixed while `max_iters` grows, so the 8
+//! extra iterations are all sketch-phase iterations (the polish phase,
+//! the prologue, and the phase-boundary exact refresh are identical in
+//! both runs and cancel). One `#[test]` because the counter is
+//! process-global.
 
 #![cfg(feature = "pass-count")]
 
-use distenc::core::{AdmmConfig, AdmmSolver, DisTenC};
+use distenc::core::{AdmmConfig, AdmmSolver, DisTenC, SolverTier};
 use distenc::dataflow::passes;
 use distenc::dataflow::{Cluster, ClusterConfig};
 use distenc::tensor::{CooTensor, KruskalTensor};
@@ -66,6 +79,45 @@ fn distenc_sweeps_per_iter(observed: &CooTensor, cfg: &AdmmConfig) -> f64 {
     (count(10) - count(2)) as f64 / 8.0
 }
 
+/// Entries touched per steady-state iteration of the host solver.
+fn host_entries_per_iter(observed: &CooTensor, cfg: &AdmmConfig) -> f64 {
+    let count = |iters: usize| {
+        let cfg = AdmmConfig { max_iters: iters, ..cfg.clone() };
+        let laps = vec![None; observed.order()];
+        let before = passes::entries_touched();
+        let res = AdmmSolver::new(cfg).unwrap().solve(observed, &laps).unwrap();
+        assert_eq!(res.iterations, iters, "must not converge early");
+        passes::entries_touched() - before
+    };
+    (count(10) - count(2)) as f64 / 8.0
+}
+
+/// (sweeps, entries) per steady-state *sketch-phase* iteration: the
+/// polish budget stays fixed while `max_iters` grows, so the differenced
+/// iterations are all sampled ones.
+fn sketched_per_iter(
+    observed: &CooTensor,
+    cfg: &AdmmConfig,
+    samples: usize,
+    polish_iters: usize,
+) -> (f64, f64) {
+    let count = |sketch_iters: usize| {
+        let cfg = AdmmConfig {
+            max_iters: polish_iters + sketch_iters,
+            solver_tier: SolverTier::Sketched { samples, polish_iters },
+            ..cfg.clone()
+        };
+        let laps = vec![None; observed.order()];
+        let (s0, e0) = (passes::sweeps(), passes::entries_touched());
+        let res = AdmmSolver::new(cfg).unwrap().solve(observed, &laps).unwrap();
+        assert_eq!(res.iterations, polish_iters + sketch_iters, "must not converge early");
+        (passes::sweeps() - s0, passes::entries_touched() - e0)
+    };
+    let (s_short, e_short) = count(2);
+    let (s_long, e_long) = count(10);
+    ((s_long - s_short) as f64 / 8.0, (e_long - e_short) as f64 / 8.0)
+}
+
 #[test]
 fn fused_iterations_sweep_the_nonzeros_one_time_fewer() {
     let base = AdmmConfig { rank: 3, tol: 1e-300, ..Default::default() };
@@ -89,4 +141,22 @@ fn fused_iterations_sweep_the_nonzeros_one_time_fewer() {
     // --- Distributed solver, block-local kernels. --------------------
     assert_eq!(distenc_sweeps_per_iter(&order3, &fused), 3.0, "distenc fused");
     assert_eq!(distenc_sweeps_per_iter(&order3, &plain), 4.0, "distenc unfused");
+
+    // --- Entry touches: exact vs sketched. ---------------------------
+    // An exact fused iteration touches every nonzero on each of its N
+    // sweeps; a sketch-phase iteration touches exactly N·samples — and
+    // performs *zero* full sweeps (sampled gathers are charged as
+    // entries only).
+    let nnz = order3.nnz() as f64;
+    assert_eq!(host_entries_per_iter(&order3, &fused), 3.0 * nnz, "exact entries");
+    let samples = order3.nnz() / 4;
+    let (sk_sweeps, sk_entries) = sketched_per_iter(&order3, &base, samples, 2);
+    assert_eq!(sk_sweeps, 0.0, "sketch-phase iterations do no full sweeps");
+    assert_eq!(sk_entries, 3.0 * samples as f64, "sketched entries = N·samples");
+    assert!(
+        sk_entries <= 3.0 * samples as f64,
+        "sketched iteration must touch ≤ samples·N entries"
+    );
+    let ratio = (3.0 * nnz) / sk_entries;
+    assert!(ratio >= 2.0, "entry-touch discount {ratio:.2} below the 2x bar");
 }
