@@ -38,6 +38,19 @@ DISTENC_THREADS=1 cargo test -q --release --test accuracy_gate --test sketched_e
 echo "==> DISTENC_THREADS=4 cargo test -q --release --test accuracy_gate --test sketched_equivalence"
 DISTENC_THREADS=4 cargo test -q --release --test accuracy_gate --test sketched_equivalence
 
+# The fault-tolerance gate: injected crashes, flaky tasks, and stragglers
+# must recover to bit-identical factors/RMSE (lineage restart on the
+# cluster, checkpoint files + `resume` on the host) or surface a typed
+# error — never a panic, never silently different numerics. Recovery cost
+# is charged to the virtual clock, so the gate also checks the economics
+# (an interval-1 resume beats a cold restart). Both thread counts, same
+# bits.
+echo "==> DISTENC_THREADS=1 cargo test -q --test fault_recovery"
+DISTENC_THREADS=1 cargo test -q --test fault_recovery
+
+echo "==> DISTENC_THREADS=4 cargo test -q --test fault_recovery"
+DISTENC_THREADS=4 cargo test -q --test fault_recovery
+
 # The allocation-budget gate needs the counting global allocator, which
 # only exists behind the alloc-count feature; it runs the solver itself,
 # so it is kept out of the default feature set (and the two sweeps above).

@@ -17,12 +17,14 @@
 //! the mode updates independent — and therefore distributable.
 
 use crate::config::{AdmmConfig, SolverTier};
+use crate::solver::checkpoint::Checkpoint;
 use crate::solver::{self, HostBackend, ResidualStore, SketchedBackend, SolverState};
-use crate::trace::TracePoint;
+use crate::trace::{ConvergenceTrace, TracePoint};
 use crate::{CompletionResult, CoreError, Result};
 use distenc_dataflow::Executor;
 use distenc_graph::{Laplacian, TruncatedLaplacian};
 use distenc_tensor::{CooTensor, CsfTensor, KruskalTensor};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// The serial Algorithm 1 solver.
@@ -155,6 +157,118 @@ impl AdmmSolver {
             start.elapsed().as_secs_f64()
         })
     }
+
+    /// Continue an interrupted solve from a [`Checkpoint`] (typically read
+    /// back with [`Checkpoint::read_file`]).
+    ///
+    /// The iteration-determining numerics (rank, λ, α, η schedule, seed,
+    /// tolerance, …) come from the *checkpoint* — they are what the
+    /// interrupted run was solving — while the environment-dependent
+    /// settings come from *this* solver: its execution mode and its
+    /// checkpoint policy (so a resumed run keeps snapshotting if asked
+    /// to). The solver tier is pinned to [`SolverTier::Exact`]:
+    /// checkpoints are exact-tier artifacts.
+    ///
+    /// **Bit-exact recovery invariant**: resuming from a checkpoint of
+    /// iteration `k` produces exactly — bit for bit — the factors, RMSE,
+    /// and trace the uninterrupted run would have produced, at
+    /// `DISTENC_THREADS=1` and in threaded mode alike
+    /// (`tests/fault_recovery.rs` pins this). A checkpoint whose
+    /// `iters_done` already reached `max_iters` returns the stored state
+    /// without iterating.
+    ///
+    /// `observed` and `laplacians` must be the same problem the
+    /// interrupted run was solving: shape, observed support size, and
+    /// Laplacian dimensions are validated, and the checkpointed residual
+    /// is trusted to be `Ω∗(T − [[A…]])` on that support (the format's
+    /// checksum guards transport corruption; it cannot detect a swapped
+    /// input tensor).
+    pub fn resume(
+        &self,
+        observed: &CooTensor,
+        laplacians: &[Option<&Laplacian>],
+        ckpt: &Checkpoint,
+    ) -> Result<CompletionResult> {
+        let cfg = AdmmConfig {
+            exec: self.cfg.exec,
+            checkpoint: self.cfg.checkpoint.clone(),
+            ..ckpt.config.clone()
+        };
+        cfg.validate().map_err(CoreError::Invalid)?;
+        validate_problem(observed, laplacians, &cfg)?;
+        if ckpt.shape != observed.shape() {
+            return Err(CoreError::Invalid(format!(
+                "checkpoint shape {:?} does not match observed tensor shape {:?}",
+                ckpt.shape,
+                observed.shape()
+            )));
+        }
+        if ckpt.residual.len() != observed.nnz() {
+            return Err(CoreError::Invalid(format!(
+                "checkpoint residual has {} entries, observed support has {}",
+                ckpt.residual.len(),
+                observed.nnz()
+            )));
+        }
+        let truncated = truncate_all(observed.shape(), laplacians, &cfg)?;
+        // The checkpointed residual values are fresh for the checkpointed
+        // factors (snapshots are taken right after the iteration's
+        // residual refresh), so they re-enter the solve through the same
+        // hand-off machinery the streaming path uses: prologue skipped,
+        // bit-invisibly.
+        let mut e = observed.clone();
+        e.values_mut().copy_from_slice(&ckpt.residual);
+        let carry = ResidualHandoff { e, csf: Vec::new() };
+        let init = KruskalTensor::new(ckpt.factors.clone())?;
+        let start = Instant::now();
+        solve_exact(
+            observed,
+            &truncated,
+            &cfg,
+            Some(init),
+            Some(carry),
+            Some(ckpt),
+            |_iter| start.elapsed().as_secs_f64(),
+        )
+        .map(|(r, _)| r)
+    }
+}
+
+/// Host-side [`solver::CheckpointSink`]: serializes each snapshot into
+/// the versioned on-disk format at the configured path. Writes are
+/// atomic (temp-file-then-rename), so an interrupted save never
+/// corrupts the previously persisted snapshot.
+struct FileSink<'a> {
+    cfg: &'a AdmmConfig,
+    shape: Vec<usize>,
+    path: PathBuf,
+}
+
+impl solver::CheckpointSink for FileSink<'_> {
+    fn save(
+        &mut self,
+        st: &SolverState,
+        iters_done: usize,
+        trace: &ConvergenceTrace,
+    ) -> Result<()> {
+        let ResidualStore::Coo { e, .. } = &st.residual else {
+            return Err(CoreError::Invalid(
+                "host checkpoint sink requires the COO residual layout".into(),
+            ));
+        };
+        let ckpt = Checkpoint {
+            config: self.cfg.clone(),
+            shape: self.shape.clone(),
+            iters_done,
+            eta: st.eta,
+            factors: st.model.factors().to_vec(),
+            y_mul: st.y_mul.clone(),
+            residual: e.values().to_vec(),
+            trace: trace.clone(),
+        };
+        ckpt.write_file(&self.path)?;
+        Ok(())
+    }
 }
 
 /// Fresh residual state handed between consecutive streaming solves.
@@ -263,7 +377,7 @@ pub(crate) fn solve_with_handoff(
             );
         }
     }
-    solve_exact(observed, truncated, cfg, initial, carry, clock)
+    solve_exact(observed, truncated, cfg, initial, carry, None, clock)
 }
 
 /// Shared host-side setup: the executor, the Algorithm 2 greedy MTTKRP
@@ -323,20 +437,52 @@ fn build_host_layout(
 }
 
 /// The single-phase exact host solve (the pre-tier behavior,
-/// bit-for-bit).
+/// bit-for-bit when no checkpointing or resumption is in play).
+///
+/// `resume` continues at the checkpoint's iteration cursor: the caller
+/// already routed the checkpointed factors through `initial` and the
+/// checkpointed residual through `carry`; this function restores the
+/// remaining ADMM state (duals `Y`, penalty `η`) and the trace. A
+/// [`FileSink`] is attached when the config asks for on-disk
+/// checkpointing ([`crate::CheckpointPolicy::with_path`]); a policy
+/// without a path is the distributed driver's concern and is a no-op
+/// here.
 fn solve_exact(
     observed: &CooTensor,
     truncated: &[TruncatedLaplacian],
     cfg: &AdmmConfig,
     initial: Option<KruskalTensor>,
     carry: Option<ResidualHandoff>,
+    resume: Option<&Checkpoint>,
     clock: impl Fn(usize) -> f64,
 ) -> Result<(CompletionResult, ResidualHandoff)> {
     let (exec, boundaries, store, residual_fresh) = build_host_layout(observed, cfg, carry)?;
     let mut backend = HostBackend::new(observed, &boundaries, cfg.rank, exec, cfg.fused, clock)?;
-    let st = SolverState::new(observed, truncated, cfg, initial, store, boundaries)?;
-    let (result, residual) =
-        solver::run(observed, truncated, cfg, &mut backend, st, residual_fresh)?;
+    let mut st = SolverState::new(observed, truncated, cfg, initial, store, boundaries)?;
+    let resume_point = resume.map(|ck| {
+        st.y_mul = ck.y_mul.clone();
+        st.eta = ck.eta;
+        solver::ResumePoint { start_iter: ck.iters_done, trace: ck.trace.clone() }
+    });
+    let mut file_sink = cfg
+        .checkpoint
+        .as_ref()
+        .and_then(|policy| policy.path.as_ref())
+        .map(|path| FileSink { cfg, shape: observed.shape().to_vec(), path: path.clone() });
+    let sink: Option<&mut dyn solver::CheckpointSink> = match file_sink.as_mut() {
+        Some(s) => Some(s),
+        None => None,
+    };
+    let (result, residual) = solver::run_resumable(
+        observed,
+        truncated,
+        cfg,
+        &mut backend,
+        st,
+        residual_fresh,
+        resume_point,
+        sink,
+    )?;
     let ResidualStore::Coo { e, csf } = residual else {
         return Err(CoreError::Invalid("host solve produced a non-COO residual".into()));
     };
@@ -372,8 +518,12 @@ fn solve_sketched(
     // Phase A: sampled iterations. The config keeps every solver knob
     // except the iteration budget; the sketched backend ignores the
     // `fused` ablation flag (its fused sampled sweep *is* the schedule —
-    // there is no unfused sampled path to ablate against).
-    let cfg_a = AdmmConfig { max_iters: sketch_iters, ..cfg.clone() };
+    // there is no unfused sampled path to ablate against). Checkpointing
+    // is stripped from both phases: checkpoints are exact-tier artifacts
+    // (a sketch-phase snapshot would resume into a different sampling
+    // stream, and a polish-phase snapshot would store a phase-local
+    // iteration cursor that lies about the whole solve).
+    let cfg_a = AdmmConfig { max_iters: sketch_iters, checkpoint: None, ..cfg.clone() };
     let (exec, boundaries, store, residual_fresh) = build_host_layout(observed, &cfg_a, carry)?;
     let mut backend_a =
         SketchedBackend::new(observed, samples, cfg.rank, exec, cfg.seed, &clock)?;
@@ -393,6 +543,7 @@ fn solve_sketched(
     let cfg_b = AdmmConfig {
         max_iters: polish_iters,
         solver_tier: SolverTier::Exact,
+        checkpoint: None,
         ..cfg.clone()
     };
     let (res_b, handoff) = solve_exact(
@@ -401,6 +552,7 @@ fn solve_sketched(
         &cfg_b,
         Some(res_a.model),
         Some(handoff),
+        None,
         &clock,
     )?;
 

@@ -91,6 +91,38 @@ impl Default for SolverTier {
     }
 }
 
+/// When (and where) the solver snapshots its state for fault recovery.
+///
+/// Checkpoints are an **exact-tier** artifact: they capture the solver
+/// loop's complete per-iteration state (factors, ADMM duals, penalty,
+/// residual, trace), and a solve resumed from one finishes with
+/// bit-identical factors and RMSE to the uninterrupted run (the recovery
+/// invariant, proven in `tests/fault_recovery.rs`). The sketched tier's
+/// phases strip the policy and run checkpoint-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Snapshot after every `n`-th completed iteration (must be ≥ 1).
+    pub every_n_iters: usize,
+    /// Where the host solver writes snapshots. `None` means no on-disk
+    /// persistence: the distributed driver keeps its latest snapshot on
+    /// the driver (its simulated "reliable store") and ignores this
+    /// field, while the host solver skips checkpointing entirely.
+    pub path: Option<std::path::PathBuf>,
+}
+
+impl CheckpointPolicy {
+    /// Policy snapshotting every `n` iterations with no on-disk path.
+    pub fn every(n: usize) -> Self {
+        CheckpointPolicy { every_n_iters: n, path: None }
+    }
+
+    /// Builder-style on-disk destination for host-solver snapshots.
+    pub fn with_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+}
+
 /// Configuration shared by [`crate::AdmmSolver`] (Algorithm 1) and
 /// [`crate::DisTenC`] (Algorithm 3). Field names follow the paper's
 /// symbols.
@@ -147,6 +179,9 @@ pub struct AdmmConfig {
     /// sketched tier with an exact final polish. Defaults from the
     /// `DISTENC_TIER` environment variable (unset ⇒ exact).
     pub solver_tier: SolverTier,
+    /// Optional checkpoint cadence for fault recovery (see
+    /// [`CheckpointPolicy`]). `None` (the default) never snapshots.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for AdmmConfig {
@@ -168,6 +203,7 @@ impl Default for AdmmConfig {
             exec: distenc_dataflow::ExecMode::default(),
             fused: true,
             solver_tier: SolverTier::default(),
+            checkpoint: None,
         }
     }
 }
@@ -236,6 +272,13 @@ impl AdmmConfig {
         self
     }
 
+    /// Builder-style checkpoint-policy override (see
+    /// [`CheckpointPolicy`]).
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
     /// Sanity-check parameter ranges, returning a description of the first
     /// violation.
     pub fn validate(&self) -> std::result::Result<(), String> {
@@ -260,6 +303,11 @@ impl AdmmConfig {
         if let SolverTier::Sketched { samples, .. } = self.solver_tier {
             if samples == 0 {
                 return Err("sketched tier needs samples ≥ 1".into());
+            }
+        }
+        if let Some(policy) = &self.checkpoint {
+            if policy.every_n_iters == 0 {
+                return Err("checkpoint cadence must be ≥ 1 iteration".into());
             }
         }
         Ok(())

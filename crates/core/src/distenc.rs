@@ -31,15 +31,24 @@
 
 use crate::admm::{truncate_all, validate_problem};
 use crate::config::AdmmConfig;
+use crate::solver::checkpoint::Checkpoint;
 use crate::solver::{self, BlockMeta, ClusterBackend, ResidualBlock, ResidualStore, SolverState};
-use crate::{CompletionResult, Result};
+use crate::trace::ConvergenceTrace;
+use crate::{CompletionResult, CoreError, Result};
 use distenc_dataflow::cluster::TaskCost;
-use distenc_dataflow::Cluster;
+use distenc_dataflow::{Cluster, DataflowError, MemoryReservation};
 use distenc_graph::{Laplacian, TruncatedLaplacian};
 use distenc_partition::TensorBlocks;
 use distenc_tensor::{CooTensor, KruskalTensor};
 
 const F64: u64 = 8;
+
+/// How many injected machine losses one solve call will absorb before
+/// giving up and surfacing the loss. Each recovery consumes the fault
+/// that caused it (injected faults are one-shot), so this bound only
+/// trips when a fault plan schedules more distinct crashes than any
+/// plausible test scenario.
+const MAX_RECOVERIES: usize = 8;
 
 /// The distributed DisTenC solver bound to a simulated cluster.
 #[derive(Debug)]
@@ -107,18 +116,89 @@ impl<'c> DisTenC<'c> {
         let cl = self.cluster;
         let m = cl.machines();
         let shape = observed.shape().to_vec();
-        let n_modes = shape.len();
-        let rank = self.cfg.rank;
-        let entry_bytes = (n_modes as u64 + 1) * F64;
+        let entry_bytes = (shape.len() as u64 + 1) * F64;
 
-        // ---- Setup: Algorithm 2 blocking -------------------------------
-        // Counting per-slice non-zeros is one pass over the entries.
-        self.stage_over_even_split(observed.nnz(), 1.0, entry_bytes)?;
+        // The Algorithm 2 blocking and the eigendecompositions are
+        // driver-side metadata: computed once, they survive any machine
+        // loss (the charges for them still land inside attempt 0, in the
+        // pre-fault order, so a fault-free solve is byte-identical to the
+        // pre-recovery driver). `positions[i][j]` maps block `i`'s entry
+        // `j` back to its index in `observed`'s canonical entry order —
+        // the order checkpoints store the residual in.
         let parts_per_mode: Vec<usize> = shape.iter().map(|&d| d.min(m)).collect();
         let blocking = TensorBlocks::build_with(observed, &parts_per_mode, self.cfg.partition);
-        // Partitioning shuffles the whole input tensor (Lemma 3's
-        // O(nnz(X)) term).
-        self.charge_partition_shuffle(&blocking, entry_bytes)?;
+        let truncated = truncate_all(&shape, laplacians, &self.cfg)?;
+        let positions: Option<Vec<Vec<usize>>> = self.cfg.checkpoint.as_ref().map(|_| {
+            blocking
+                .blocks
+                .iter()
+                .map(|(_, t)| {
+                    (0..t.nnz())
+                        .map(|e| {
+                            observed
+                                .position_of(t.index(e))
+                                .expect("block entries are drawn from the observed tensor")
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+
+        // Lineage-style recovery loop: a lost machine aborts the attempt,
+        // the next attempt reloads that machine's blocks from the
+        // (simulated) reliable input store, restores the latest snapshot
+        // if checkpointing was on — a cold restart otherwise — and
+        // continues. Every injected fault is one-shot, so each retry
+        // makes progress.
+        let mut image: Option<Vec<u8>> = None;
+        let mut recovering: Option<usize> = None;
+        for attempt in 0..=MAX_RECOVERIES {
+            let out = self.run_attempt(
+                observed,
+                laplacians,
+                &truncated,
+                &blocking,
+                positions.as_deref(),
+                initial.as_ref(),
+                recovering,
+                &mut image,
+                entry_bytes,
+            );
+            match out {
+                Err(CoreError::Dataflow(DataflowError::MachineLost { machine, .. }))
+                    if attempt < MAX_RECOVERIES =>
+                {
+                    recovering = Some(machine);
+                }
+                other => return other,
+            }
+        }
+        unreachable!("the final attempt either succeeds or returns its error")
+    }
+
+    /// One solve attempt: charge the setup (full on the first attempt,
+    /// the recovery reload on retries), reserve resident memory behind an
+    /// RAII guard, restore the latest checkpoint image if there is one,
+    /// and run the shared solver core. Any snapshot the attempt produced
+    /// is harvested into `image` even when the attempt dies, so the
+    /// *next* attempt resumes from the most recent snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn run_attempt(
+        &self,
+        observed: &CooTensor,
+        _laplacians: &[Option<&Laplacian>],
+        truncated: &[TruncatedLaplacian],
+        blocking: &TensorBlocks,
+        positions: Option<&[Vec<usize>]>,
+        initial: Option<&KruskalTensor>,
+        recovering: Option<usize>,
+        image: &mut Option<Vec<u8>>,
+        entry_bytes: u64,
+    ) -> Result<CompletionResult> {
+        let cl = self.cluster;
+        let shape = observed.shape().to_vec();
+        let n_modes = shape.len();
+        let rank = self.cfg.rank;
 
         let mut blocks: Vec<ResidualBlock> = Vec::with_capacity(blocking.blocks.len());
         let mut meta: Vec<BlockMeta> = Vec::with_capacity(blocking.blocks.len());
@@ -128,33 +208,90 @@ impl<'c> DisTenC<'c> {
                 coords: blocking.block_coords(*id),
                 active: (0..n_modes).map(|n| t.active_indices(n)).collect(),
             });
-            // Residual values start stale (zero); solver::run's prologue
-            // refreshes them before anything reads them.
+            // Residual values start stale (zero); the solver prologue
+            // refreshes them before anything reads them. A checkpoint
+            // restore overwrites them with the snapshot's values below.
             blocks.push(ResidualBlock { entries: t.clone(), vals: vec![0.0; t.nnz()] });
         }
         let mode_parts = blocking.modes.clone();
 
+        if recovering.is_none() {
+            // ---- First attempt: the Algorithm 2 setup charges ----------
+            // Counting per-slice non-zeros is one pass over the entries;
+            // partitioning then shuffles the whole input tensor (Lemma
+            // 3's O(nnz(X)) term).
+            self.stage_over_even_split(observed.nnz(), 1.0, entry_bytes)?;
+            self.charge_partition_shuffle(blocking, entry_bytes)?;
+        }
+
         // ---- Resident memory: blocks, factor state, eigenbases ---------
-        let mut reserved: Vec<(usize, u64)> = Vec::new();
-        let mut reserve = |mach: usize, bytes: u64| -> Result<()> {
-            cl.reserve(mach, bytes)?;
-            reserved.push((mach, bytes));
-            Ok(())
-        };
+        // The guard releases whatever was reserved when the attempt ends,
+        // success or failure — a failed attempt is torn down (its peak
+        // footprint stays in `peak_resident`), so retries never leak the
+        // ledger.
+        let mut reservation = MemoryReservation::new(cl);
         for (b, bm) in blocks.iter().zip(&meta) {
             // Tensor block + residual values.
             let bytes = b.entries.nnz() as u64 * (entry_bytes + F64);
-            reserve(bm.machine, bytes)?;
+            reservation.reserve(bm.machine, bytes)?;
         }
-        let truncated = self.truncate_charged(&shape, laplacians)?;
+        if recovering.is_none() {
+            self.charge_truncation(&shape, _laplacians)?;
+        }
         for (n, part) in mode_parts.iter().enumerate() {
             let k = truncated[n].k() as u64;
             for p in 0..part.parts() {
                 let rows = part.range(p).len() as u64;
                 // A, B, Y rows plus the eigenbasis rows for this range.
                 let bytes = rows * rank as u64 * F64 * 3 + rows * k * F64;
-                reserve(cl.machine_for_partition(p), bytes)?;
+                reservation.reserve(cl.machine_for_partition(p), bytes)?;
             }
+        }
+
+        if let Some(lost) = recovering {
+            // ---- Recovery charges: reload + restore --------------------
+            // The lost machine re-reads its blocks from the reliable
+            // input store, and the latest snapshot (if any) is broadcast
+            // back out. All of it is recovery work: charged to the
+            // virtual clock *and* to `Metrics::recovery_seconds`.
+            let t0 = cl.now();
+            let lost_nnz: u64 = blocks
+                .iter()
+                .zip(&meta)
+                .filter(|(_, bm)| bm.machine == lost)
+                .map(|(b, _)| b.entries.nnz() as u64)
+                .sum();
+            cl.run_stage(&[TaskCost {
+                machine: lost,
+                flops: lost_nnz as f64,
+                input_bytes: lost_nnz * entry_bytes,
+                output_bytes: 0,
+            }])?;
+            if let Some(img) = image.as_ref() {
+                cl.broadcast_charge(img.len() as u64)?;
+            }
+            cl.note_recovery(cl.now() - t0);
+        }
+
+        // ---- Restore the snapshot, or start (possibly warm) ------------
+        let mut restored: Option<(Vec<distenc_linalg::Mat>, f64, solver::ResumePoint)> = None;
+        let mut init = initial.cloned();
+        let mut residual_fresh = false;
+        if let Some(img) = image.as_ref() {
+            let ck = Checkpoint::from_bytes(img)?;
+            let pos = positions.expect("a snapshot implies a checkpoint policy");
+            for (b, p) in blocks.iter_mut().zip(pos) {
+                for (v, &at) in b.vals.iter_mut().zip(p) {
+                    *v = ck.residual[at];
+                }
+            }
+            init = Some(KruskalTensor::new(ck.factors)?);
+            residual_fresh = true;
+            restored = Some((
+                ck.y_mul,
+                ck.eta,
+                solver::ResumePoint { start_iter: ck.iters_done, trace: ck.trace },
+            ));
         }
 
         // ---- Delegate the iteration to the shared solver core ----------
@@ -165,23 +302,52 @@ impl<'c> DisTenC<'c> {
         let eigen_k: Vec<usize> = truncated.iter().map(|t| t.k()).collect();
         let mut backend =
             ClusterBackend::new(cl, rank, mode_parts, meta, eigen_k, self.cfg.fused);
-        let st = SolverState::new(
+        let mut st = SolverState::new(
             observed,
-            &truncated,
+            truncated,
             &self.cfg,
-            initial,
+            init,
             ResidualStore::Blocked { blocks },
             boundaries,
         )?;
-        let (result, _) = solver::run(observed, &truncated, &self.cfg, &mut backend, st, false)?;
-
-        // Release resident memory (the job is done). An error above keeps
-        // it reserved — the failed job's footprint stays visible in the
-        // cluster metrics, matching the pre-refactor behavior.
-        for (mach, bytes) in reserved {
-            cl.release(mach, bytes);
+        let resume_point = restored.map(|(y_mul, eta, rp)| {
+            st.y_mul = y_mul;
+            st.eta = eta;
+            rp
+        });
+        let mut sink_store = self.cfg.checkpoint.as_ref().map(|_| ClusterSink {
+            cl,
+            cfg: &self.cfg,
+            shape: &shape,
+            nnz: observed.nnz(),
+            positions: positions.expect("a checkpoint policy implies positions"),
+            latest: None,
+        });
+        let out = {
+            let sink: Option<&mut dyn solver::CheckpointSink> = match sink_store.as_mut() {
+                Some(s) => Some(s),
+                None => None,
+            };
+            solver::run_resumable(
+                observed,
+                truncated,
+                &self.cfg,
+                &mut backend,
+                st,
+                residual_fresh,
+                resume_point,
+                sink,
+            )
+        };
+        // Harvest the newest snapshot even from a dead attempt: the
+        // simulated reliable store outlives the machines.
+        if let Some(s) = sink_store {
+            if let Some(latest) = s.latest {
+                *image = Some(latest);
+            }
         }
-
+        let (result, _) = out?;
+        drop(reservation);
         Ok(result)
     }
 
@@ -242,19 +408,75 @@ impl<'c> DisTenC<'c> {
     }
 
     /// Charge the one-off truncated eigendecompositions (`O(K·I)` per the
-    /// paper's §III-B claim) and produce them.
-    fn truncate_charged(
-        &self,
-        shape: &[usize],
-        laplacians: &[Option<&Laplacian>],
-    ) -> Result<Vec<TruncatedLaplacian>> {
+    /// paper's §III-B claim). The decomposition itself is computed
+    /// driver-side before the attempt loop (it never changes), so a
+    /// recovery attempt skips both the work and this charge.
+    fn charge_truncation(&self, shape: &[usize], laplacians: &[Option<&Laplacian>]) -> Result<()> {
         for (n, lap) in laplacians.iter().enumerate() {
             if lap.is_some() {
                 let flops = (self.cfg.eigen_k * shape[n]) as f64 * 8.0;
                 self.cluster.charge_driver_flops(flops)?;
             }
         }
-        truncate_all(shape, laplacians, &self.cfg)
+        Ok(())
+    }
+}
+
+/// The distributed [`solver::CheckpointSink`]: snapshots are serialized
+/// to the driver's simulated reliable store (a byte image surviving
+/// machine loss) and the collect of the snapshot — every machine shipping
+/// its share of the factors, duals, and residual to the driver — is
+/// charged to the cluster, so checkpoint cadence shows up honestly in the
+/// virtual metrics.
+struct ClusterSink<'a> {
+    cl: &'a Cluster,
+    cfg: &'a AdmmConfig,
+    shape: &'a [usize],
+    nnz: usize,
+    /// Per-block maps from block entry order to the canonical observed
+    /// entry order the checkpoint format stores the residual in.
+    positions: &'a [Vec<usize>],
+    /// The most recent snapshot image ("reliable store" contents).
+    latest: Option<Vec<u8>>,
+}
+
+impl solver::CheckpointSink for ClusterSink<'_> {
+    fn save(
+        &mut self,
+        st: &SolverState,
+        iters_done: usize,
+        trace: &ConvergenceTrace,
+    ) -> Result<()> {
+        let ResidualStore::Blocked { blocks } = &st.residual else {
+            return Err(CoreError::Invalid(
+                "cluster checkpoint sink requires the blocked residual layout".into(),
+            ));
+        };
+        // Gather the blocked residual back into canonical entry order —
+        // the layout-independent form both drivers' restores understand.
+        let mut residual = vec![0.0; self.nnz];
+        for (b, pos) in blocks.iter().zip(self.positions) {
+            for (&v, &at) in b.vals.iter().zip(pos) {
+                residual[at] = v;
+            }
+        }
+        let ckpt = Checkpoint {
+            config: self.cfg.clone(),
+            shape: self.shape.to_vec(),
+            iters_done,
+            eta: st.eta,
+            factors: st.model.factors().to_vec(),
+            y_mul: st.y_mul.clone(),
+            residual,
+            trace: trace.clone(),
+        };
+        let bytes = ckpt.to_bytes();
+        // Collect: each machine ships an even share of the snapshot.
+        let m = self.cl.machines();
+        let per = (bytes.len() as u64).div_ceil(m as u64);
+        self.cl.collect_charge(&vec![per; m])?;
+        self.latest = Some(bytes);
+        Ok(())
     }
 }
 

@@ -37,10 +37,11 @@ pub(crate) mod solver;
 pub mod trace;
 
 pub use admm::{AdmmSolver, ResidualHandoff};
-pub use config::{AdmmConfig, SolverTier, DEFAULT_POLISH_ITERS};
+pub use config::{AdmmConfig, CheckpointPolicy, SolverTier, DEFAULT_POLISH_ITERS};
 pub use distenc::DisTenC;
 pub use model::{MethodModel, RunOutcome, WorkloadSpec};
 pub use objective::{primal_objective, Objective};
+pub use solver::checkpoint::{Checkpoint, CheckpointError};
 pub use trace::{ConvergenceTrace, TracePoint};
 
 use distenc_tensor::KruskalTensor;
@@ -80,8 +81,11 @@ pub enum CoreError {
     Linalg(distenc_linalg::LinalgError),
     /// Propagated tensor-algebra failure.
     Tensor(distenc_tensor::TensorError),
-    /// Propagated engine failure (including the simulated O.O.M./O.O.T.).
+    /// Propagated engine failure (including the simulated O.O.M./O.O.T.
+    /// and injected machine loss / task failure).
     Dataflow(distenc_dataflow::DataflowError),
+    /// A checkpoint could not be written, read, or validated.
+    Checkpoint(solver::checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -91,6 +95,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Linalg(e) => write!(f, "{e}"),
             CoreError::Tensor(e) => write!(f, "{e}"),
             CoreError::Dataflow(e) => write!(f, "{e}"),
+            CoreError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
@@ -112,6 +117,12 @@ impl From<distenc_tensor::TensorError> for CoreError {
 impl From<distenc_dataflow::DataflowError> for CoreError {
     fn from(e: distenc_dataflow::DataflowError) -> Self {
         CoreError::Dataflow(e)
+    }
+}
+
+impl From<solver::checkpoint::CheckpointError> for CoreError {
+    fn from(e: solver::checkpoint::CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
     }
 }
 

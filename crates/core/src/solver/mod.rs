@@ -48,6 +48,7 @@ use distenc_linalg::{Cholesky, Mat};
 use distenc_tensor::mttkrp::gram_product_into;
 use distenc_tensor::{CooTensor, CsfTensor, KruskalTensor};
 
+pub mod checkpoint;
 pub(crate) mod cluster;
 pub(crate) mod host;
 pub(crate) mod sketched;
@@ -372,6 +373,33 @@ pub(crate) fn mode_step<B: StepBackend>(
     Ok(())
 }
 
+/// Where the loop continues from when recovering a checkpointed solve.
+/// The [`SolverState`] handed to [`run_resumable`] must already carry the
+/// checkpoint's factors, duals, penalty, and residual values.
+pub(crate) struct ResumePoint {
+    /// Iterations already completed; the loop continues at this index.
+    pub start_iter: usize,
+    /// Trace accumulated before the interruption; new points append.
+    pub trace: ConvergenceTrace,
+}
+
+/// Receives solver snapshots at the configured checkpoint cadence. The
+/// host driver writes [`checkpoint::Checkpoint`] files; the distributed
+/// driver serializes to its simulated reliable store and charges the
+/// cluster for the collect.
+pub(crate) trait CheckpointSink {
+    /// Persist the state after `iters_done` completed iterations.
+    /// `st.eta` has already taken that iteration's schedule update, so a
+    /// resume continues with exactly the penalty the next iteration would
+    /// have read.
+    fn save(
+        &mut self,
+        st: &SolverState,
+        iters_done: usize,
+        trace: &ConvergenceTrace,
+    ) -> Result<()>;
+}
+
 /// The shared outer loop (Algorithm 1 lines 5–17 / Algorithm 3 lines
 /// 6–17): prologue Gram + residual refresh, then per iteration a Jacobi
 /// sweep of [`mode_step`]s, the factor swap with the convergence
@@ -398,8 +426,37 @@ pub(crate) fn run<B: StepBackend>(
     truncated: &[TruncatedLaplacian],
     cfg: &AdmmConfig,
     backend: &mut B,
+    st: SolverState,
+    residual_fresh: bool,
+) -> Result<(CompletionResult, ResidualStore)> {
+    run_resumable(observed, truncated, cfg, backend, st, residual_fresh, None, None)
+}
+
+/// [`run`] with the fault-tolerance hooks attached: `resume` continues a
+/// checkpointed solve at its stored iteration cursor, and `sink` receives
+/// snapshots at the cadence of [`AdmmConfig::checkpoint`].
+///
+/// **Bit-exact recovery invariant** (proven by `tests/fault_recovery.rs`
+/// at `DISTENC_THREADS=1` and `=4`): a solve resumed from a checkpoint of
+/// iteration `k` produces, from iteration `k` on, exactly the bits the
+/// uninterrupted run produced. This holds because every input iteration
+/// `k` reads is either stored in the checkpoint (factors, duals `Y`,
+/// post-schedule `η`, residual values) or recomputed deterministically
+/// before its first read (Grams in the prologue; `B` is rewritten from
+/// `ηA − Y` each mode step). The one cross-iteration artifact *not*
+/// restored — the fused sweep's banked mode-0 MTTKRP — is bit-invisible
+/// by the [`StepBackend::fused_step`] contract: an absent stash degrades
+/// to mode 0 computing its own sweep with pinned-identical output.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_resumable<B: StepBackend>(
+    observed: &CooTensor,
+    truncated: &[TruncatedLaplacian],
+    cfg: &AdmmConfig,
+    backend: &mut B,
     mut st: SolverState,
     residual_fresh: bool,
+    resume: Option<ResumePoint>,
+    mut sink: Option<&mut dyn CheckpointSink>,
 ) -> Result<(CompletionResult, ResidualStore)> {
     // Drivers validate at their API boundary; this guard keeps the shared
     // core safe against a zero-support tensor slipping through a future
@@ -410,24 +467,32 @@ pub(crate) fn run<B: StepBackend>(
     let n_modes = st.model.order();
     debug_assert_eq!(st.boundaries.len(), n_modes, "one boundary set per mode");
 
+    let (start_iter, mut trace) = match resume {
+        Some(r) => (r.start_iter, r.trace),
+        None => (0, ConvergenceTrace::new()),
+    };
+
     // Prologue: Grams of the initial factors (Eq. 12 cache), then the
     // initial residual E₀ = Ω∗(T − [[A₀…]]) (line 5). The fused form also
     // banks iteration 0's mode-0 MTTKRP — iteration 0 reads the same
-    // initial factors this sweep reads.
+    // initial factors this sweep reads. A resumed solve re-runs the Gram
+    // refresh (recomputing from the restored factors — same bits as the
+    // interrupted run's cache) and always arrives with a fresh residual,
+    // so its prologue sweep is skipped.
     for n in 0..n_modes {
         backend.refresh_gram(&st.model.factors()[n], n, &mut st.grams[n])?;
     }
     backend.on_grams_refreshed()?;
     if !residual_fresh {
-        let _ = backend.fused_step(observed, &st.model, &mut st.residual, cfg.max_iters > 0)?;
+        let _ =
+            backend.fused_step(observed, &st.model, &mut st.residual, cfg.max_iters > start_iter)?;
     }
 
-    let mut trace = ConvergenceTrace::new();
-    trace.points.reserve(cfg.max_iters);
+    trace.points.reserve(cfg.max_iters.saturating_sub(start_iter));
     let mut converged = false;
-    let mut iterations = 0;
+    let mut iterations = start_iter;
 
-    for t in 0..cfg.max_iters {
+    for t in start_iter..cfg.max_iters {
         iterations = t + 1;
 
         for n in 0..n_modes {
@@ -460,6 +525,14 @@ pub(crate) fn run<B: StepBackend>(
 
         // Line 14: penalty schedule.
         st.eta = (cfg.rho * st.eta).min(cfg.eta_max);
+
+        // Snapshot *after* the schedule update so a resume reads exactly
+        // the η the next iteration would have.
+        if let (Some(policy), Some(s)) = (&cfg.checkpoint, sink.as_deref_mut()) {
+            if (t + 1) % policy.every_n_iters == 0 {
+                s.save(&st, t + 1, &trace)?;
+            }
+        }
 
         // Lines 15–17.
         if delta < cfg.tol {

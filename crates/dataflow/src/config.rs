@@ -1,6 +1,7 @@
 //! Cluster configuration and the calibrated cost model.
 
 use crate::exec::ExecMode;
+use crate::fault::FaultPlan;
 
 /// Execution substrate being modelled (formerly `ExecMode`; renamed when
 /// [`ExecMode`] became the *host* thread-backend selector — the two are
@@ -76,6 +77,10 @@ pub struct ClusterConfig {
     /// Optional straggler: `(machine, slowdown)` multiplies that machine's
     /// compute time (failure-injection testing).
     pub straggler: Option<(usize, f64)>,
+    /// Deterministic fault schedule (crashes, transient task failures,
+    /// straggler windows). Empty by default — a fault-free cluster's
+    /// accounting is bit-identical with or without the fault machinery.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -91,6 +96,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             time_budget: Some(8.0 * 3600.0),
             straggler: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -111,6 +117,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             time_budget: Some(8.0 * 3600.0),
             straggler: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -125,6 +132,7 @@ impl ClusterConfig {
             cost: CostModel::default(),
             time_budget: None,
             straggler: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -155,6 +163,12 @@ impl ClusterConfig {
     /// Builder-style override of the time budget.
     pub fn with_time_budget(mut self, seconds: Option<f64>) -> Self {
         self.time_budget = seconds;
+        self
+    }
+
+    /// Builder-style override of the fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }

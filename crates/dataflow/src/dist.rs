@@ -126,7 +126,9 @@ impl<'c, T> Dist<'c, T> {
         if let Some(per_machine) = self.persisted_bytes.take() {
             for (m, &b) in per_machine.iter().enumerate() {
                 if b > 0 {
-                    self.cluster.release(m, b);
+                    // Machine indices come from machine_for_partition,
+                    // so the release cannot name a bad machine.
+                    let _ = self.cluster.release(m, b);
                 }
             }
         }

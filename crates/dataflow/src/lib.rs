@@ -33,6 +33,7 @@ pub mod cluster;
 pub mod config;
 pub mod dist;
 pub mod exec;
+pub mod fault;
 #[cfg(feature = "pass-count")]
 pub mod passes;
 
@@ -44,10 +45,11 @@ pub mod passes;
 #[global_allocator]
 static COUNTING_ALLOCATOR: alloc::CountingAllocator = alloc::CountingAllocator;
 
-pub use cluster::{Cluster, Metrics};
+pub use cluster::{Cluster, MemoryReservation, Metrics};
 pub use config::{ClusterConfig, CostModel, Platform};
 pub use dist::{Broadcast, Dist};
 pub use exec::{even_ranges, ExecMode, Executor};
+pub use fault::{Fault, FaultPlan};
 
 /// Errors surfaced by the engine. `OutOfMemory` and `OutOfTime` are
 /// *results* of the simulation (they reproduce the paper's O.O.M./O.O.T.
@@ -75,6 +77,35 @@ pub enum DataflowError {
     /// An operation was invoked with inconsistent arguments (e.g. joining
     /// collections from different clusters).
     Invalid(String),
+    /// A machine was lost mid-operation (injected via
+    /// [`fault::FaultPlan`]): its resident data is gone and the driver
+    /// must recover — restore a checkpoint or recompute lineage — before
+    /// retrying. The failed attempt's virtual time has been charged.
+    MachineLost {
+        /// The machine that died.
+        machine: usize,
+        /// Global stage number at which it died.
+        stage: u64,
+    },
+    /// A task kept failing past the fault plan's retry budget; the stage
+    /// aborted after charging every attempt.
+    TaskFailed {
+        /// Machine the flaky task ran on.
+        machine: usize,
+        /// Global stage number of the aborted stage.
+        stage: u64,
+        /// Attempts made (original run plus retries).
+        attempts: u32,
+    },
+    /// An operation named a machine outside the cluster. Replaces the
+    /// pre-fault-model panic: malformed input on the failure path must
+    /// surface as a typed error, never a panic.
+    BadMachine {
+        /// The out-of-range machine index.
+        machine: usize,
+        /// Number of machines in the cluster.
+        machines: usize,
+    },
 }
 
 impl std::fmt::Display for DataflowError {
@@ -88,6 +119,16 @@ impl std::fmt::Display for DataflowError {
                 write!(f, "out of time: {elapsed:.1}s elapsed of {budget:.1}s budget")
             }
             DataflowError::Invalid(msg) => write!(f, "invalid dataflow operation: {msg}"),
+            DataflowError::MachineLost { machine, stage } => {
+                write!(f, "machine {machine} lost at stage {stage}")
+            }
+            DataflowError::TaskFailed { machine, stage, attempts } => write!(
+                f,
+                "task on machine {machine} failed {attempts} attempts at stage {stage}"
+            ),
+            DataflowError::BadMachine { machine, machines } => {
+                write!(f, "operation names machine {machine} of a {machines}-machine cluster")
+            }
         }
     }
 }

@@ -47,7 +47,7 @@ pub use cache::LruCache;
 pub use engine::{Engine, EngineConfig};
 pub use live::{LiveEngine, Tagged};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use queue::{QueueConfig, Request, Response, ServeQueue, Ticket};
+pub use queue::{QueueConfig, Request, Response, RetryPolicy, ServeQueue, Ticket};
 pub use store::FactorStore;
 pub use topk::{TopKItem, TopKQuery, TopKResult};
 pub use workload::{synth_trace, TraceConfig, ZipfSampler};

@@ -81,11 +81,50 @@ impl LiveEngine {
     /// one atomic store. The new model may have any shape/rank (streaming
     /// growth changes both).
     pub fn publish(&self, model: &KruskalTensor) -> Result<u64> {
-        let engine = Engine::with_metrics(model, self.cfg.clone(), Arc::clone(&self.metrics))?;
+        let engine = match Engine::with_metrics(model, self.cfg.clone(), Arc::clone(&self.metrics))
+        {
+            Ok(e) => e,
+            Err(e) => {
+                // Publish-on-success only: a model the engine cannot shard
+                // never replaces the serving generation.
+                self.metrics.publish_failed();
+                return Err(e);
+            }
+        };
         let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
         self.slot.store(Arc::new(GenerationSlot { engine, generation }));
         self.metrics.publish(generation);
         Ok(generation)
+    }
+
+    /// Run a refresh solve and publish its model — or keep serving the
+    /// previous generation if the solve fails.
+    ///
+    /// This is the serving tier's graceful-degradation contract: the
+    /// refresh closure (typically a re-solve over updated observations,
+    /// which can die to an injected machine loss, a memory/time budget,
+    /// or a numerical failure) runs entirely off the serving path. On
+    /// `Ok(model)` the model is built and swapped in atomically, exactly
+    /// like [`LiveEngine::publish`]. On `Err` nothing about the serving
+    /// state changes — queries continue against the current generation —
+    /// and the failure is counted in
+    /// [`MetricsSnapshot::models_failed`]. The solve error comes back to
+    /// the caller either way so it can retry or alert.
+    pub fn refresh_with<E, F>(&self, solve: F) -> std::result::Result<u64, E>
+    where
+        F: FnOnce() -> std::result::Result<KruskalTensor, E>,
+        E: From<crate::ServeError>,
+    {
+        match solve() {
+            Ok(model) => self.publish(&model).map_err(|e| {
+                // `publish` already counted the failure.
+                E::from(e)
+            }),
+            Err(e) => {
+                self.metrics.publish_failed();
+                Err(e)
+            }
+        }
     }
 
     /// The generation currently being served.
@@ -169,6 +208,37 @@ mod tests {
         assert_eq!(live.shape(), vec![12, 8]);
         let r = live.point(&[10, 0]).unwrap();
         assert_eq!(r.generation, 2);
+    }
+
+    #[test]
+    fn failed_refresh_keeps_previous_generation_serving() {
+        let m1 = KruskalTensor::random(&[20, 15, 10], 3, 7);
+        let live = LiveEngine::new(&m1, EngineConfig::default()).unwrap();
+
+        // A refresh whose solve dies: nothing about serving changes.
+        let err = live
+            .refresh_with(|| Err::<KruskalTensor, crate::ServeError>(crate::ServeError::BadQuery(
+                "simulated solve failure".into(),
+            )))
+            .unwrap_err();
+        assert!(matches!(err, crate::ServeError::BadQuery(_)));
+        assert_eq!(live.generation(), 1);
+        let r = live.point(&[1, 2, 3]).unwrap();
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.value.to_bits(), m1.eval(&[1, 2, 3]).to_bits());
+
+        // A refresh that succeeds publishes as usual.
+        let m2 = KruskalTensor::random(&[20, 15, 10], 3, 8);
+        let generation = live
+            .refresh_with(|| Ok::<_, crate::ServeError>(m2.clone()))
+            .unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(live.generation(), 2);
+
+        let s = live.snapshot();
+        assert_eq!(s.models_failed, 1);
+        assert_eq!(s.models_published, 2);
+        assert_eq!(s.serving_generation, 2);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct ServeMetrics {
     queue_rejections: AtomicU64,
     batches_executed: AtomicU64,
     models_published: AtomicU64,
+    models_failed: AtomicU64,
     serving_generation: AtomicU64,
     hist: [AtomicU64; BUCKETS],
     lat_count: AtomicU64,
@@ -50,6 +51,7 @@ impl Default for ServeMetrics {
             queue_rejections: AtomicU64::new(0),
             batches_executed: AtomicU64::new(0),
             models_published: AtomicU64::new(0),
+            models_failed: AtomicU64::new(0),
             serving_generation: AtomicU64::new(0),
             hist: std::array::from_fn(|_| AtomicU64::new(0)),
             lat_count: AtomicU64::new(0),
@@ -117,6 +119,12 @@ impl ServeMetrics {
         self.serving_generation.store(generation, Relaxed);
     }
 
+    /// A refresh attempt failed to produce a publishable model; the
+    /// previously published generation keeps serving.
+    pub fn publish_failed(&self) {
+        self.models_failed.fetch_add(1, Relaxed);
+    }
+
     /// Record one served-query latency.
     pub fn record_latency(&self, lat: Duration) {
         let nanos = lat.as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -145,6 +153,7 @@ impl ServeMetrics {
             queue_rejections: self.queue_rejections.load(Relaxed),
             batches_executed: self.batches_executed.load(Relaxed),
             models_published: self.models_published.load(Relaxed),
+            models_failed: self.models_failed.load(Relaxed),
             serving_generation: self.serving_generation.load(Relaxed),
             p50: quantile(&hist, count, 0.50),
             p90: quantile(&hist, count, 0.90),
@@ -207,6 +216,9 @@ pub struct MetricsSnapshot {
     /// Model generations published over the engine's lifetime (0 for a
     /// static engine that never hot-swapped).
     pub models_published: u64,
+    /// Refresh attempts that failed before publishing; each one left the
+    /// previous generation serving (graceful degradation).
+    pub models_failed: u64,
     /// The model generation currently being served (0 until the first
     /// publish).
     pub serving_generation: u64,
@@ -280,8 +292,8 @@ impl std::fmt::Display for MetricsSnapshot {
         writeln!(f, "queue rejections    : {}", self.queue_rejections)?;
         writeln!(
             f,
-            "models published    : {} (serving generation {})",
-            self.models_published, self.serving_generation
+            "models published    : {} (serving generation {}, {} failed refreshes)",
+            self.models_published, self.serving_generation, self.models_failed
         )?;
         write!(
             f,

@@ -53,6 +53,31 @@ impl Default for QueueConfig {
     }
 }
 
+/// Bounded retry-with-backoff for transient [`ServeError::QueueFull`]
+/// rejections (see [`ServeQueue::submit_with_retry`]).
+///
+/// Backpressure from a bounded queue is usually momentary — a worker
+/// drains a batch and capacity reappears — so a short, doubling backoff
+/// turns most rejections into slightly-delayed acceptances without
+/// letting a persistently overloaded queue buffer unboundedly: after
+/// `attempts` rejections the caller gets the [`ServeError::QueueFull`]
+/// and must shed the request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total submission attempts (at least 1; 1 means no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles after each rejection.
+    /// `Duration::ZERO` retries immediately (only useful when another
+    /// thread is draining concurrently).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 4, backoff: Duration::from_micros(50) }
+    }
+}
+
 /// A queued query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -187,6 +212,34 @@ impl ServeQueue {
         }
         self.shared.cv.notify_one();
         Ok(Ticket { rx })
+    }
+
+    /// [`submit`](ServeQueue::submit) with bounded retry on
+    /// [`ServeError::QueueFull`].
+    ///
+    /// Each rejected attempt still counts in
+    /// [`queue_rejections`](crate::MetricsSnapshot::queue_rejections)
+    /// (the pressure was real), sleeps the policy's current backoff, and
+    /// tries again; any other error — and a rejection on the final
+    /// attempt — returns immediately. With `workers: 0` nothing drains
+    /// between attempts unless another thread calls
+    /// [`drain_once`](ServeQueue::drain_once), so retrying there only
+    /// makes sense in multi-threaded harnesses.
+    pub fn submit_with_retry(&self, req: Request, policy: &RetryPolicy) -> Result<Ticket> {
+        let attempts = policy.attempts.max(1);
+        let mut backoff = policy.backoff;
+        for _ in 1..attempts {
+            match self.submit(req.clone()) {
+                Err(ServeError::QueueFull { .. }) => {
+                    if backoff > Duration::ZERO {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff = backoff.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+        self.submit(req)
     }
 
     /// Requests currently queued (not yet drained).
@@ -468,6 +521,58 @@ mod tests {
         let s = engine.snapshot();
         assert_eq!(s.batch_points, 100);
         assert_eq!(s.topk_queries, 33);
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_queue_full() {
+        let engine = test_engine();
+        let cfg = QueueConfig { capacity: 1, ..manual_cfg() };
+        let queue = ServeQueue::new(Arc::clone(&engine), cfg).unwrap();
+        let _held = queue.submit(Request::Point { index: vec![0, 0, 0] }).unwrap();
+        let policy = RetryPolicy { attempts: 3, backoff: Duration::ZERO };
+        match queue.submit_with_retry(Request::Point { index: vec![1, 1, 1] }, &policy) {
+            Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Every rejected attempt counted: the pressure was real each time.
+        assert_eq!(engine.snapshot().queue_rejections, 3);
+        queue.drain_once();
+    }
+
+    #[test]
+    fn retry_succeeds_once_capacity_reappears() {
+        let engine = test_engine();
+        let cfg = QueueConfig { capacity: 1, ..manual_cfg() };
+        let queue = ServeQueue::new(Arc::clone(&engine), cfg).unwrap();
+        let held = queue.submit(Request::Point { index: vec![0, 0, 0] }).unwrap();
+        let policy = RetryPolicy { attempts: 30, backoff: Duration::from_millis(1) };
+        std::thread::scope(|s| {
+            let submitter = s.spawn(|| {
+                queue.submit_with_retry(Request::Point { index: vec![1, 1, 1] }, &policy)
+            });
+            // Drain until the retrying submission lands.
+            while !submitter.is_finished() {
+                queue.drain_once();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let ticket = submitter.join().expect("submitter thread").unwrap();
+            queue.drain_once();
+            assert!(matches!(ticket.wait(), Response::Value(_)));
+        });
+        assert!(matches!(held.wait(), Response::Value(_)));
+        assert!(engine.snapshot().queue_rejections >= 1);
+    }
+
+    #[test]
+    fn retry_does_not_mask_other_errors() {
+        let engine = test_engine();
+        let mut queue = ServeQueue::new(engine, manual_cfg()).unwrap();
+        queue.shutdown();
+        let policy = RetryPolicy { attempts: 5, backoff: Duration::ZERO };
+        assert!(matches!(
+            queue.submit_with_retry(Request::Point { index: vec![0, 0, 0] }, &policy),
+            Err(ServeError::ShuttingDown)
+        ));
     }
 
     #[test]

@@ -18,11 +18,11 @@
 //! serving benchmark go through `distenc_serve::Engine`, so scores are
 //! bit-identical to `KruskalTensor::eval` on the loaded model.
 
-use distenc::core::{AdmmConfig, AdmmSolver};
+use distenc::core::{AdmmConfig, AdmmSolver, Checkpoint, CheckpointPolicy};
 use distenc::graph::{Laplacian, SparseSym};
 use distenc::serve::{
-    synth_trace, Engine, EngineConfig, QueueConfig, Request, ServeError, ServeQueue, Ticket,
-    TopKQuery, TraceConfig,
+    synth_trace, Engine, EngineConfig, QueueConfig, Request, RetryPolicy, ServeError,
+    ServeQueue, Ticket, TopKQuery, TraceConfig,
 };
 use distenc::tensor::{io, CooTensor, KruskalTensor};
 use std::collections::{BTreeMap, VecDeque};
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(rest),
         "complete" => cmd_complete(rest),
+        "resume" => cmd_resume(rest),
         "stream" => cmd_stream(rest),
         "evaluate" => cmd_evaluate(rest),
         "predict" => cmd_predict(rest),
@@ -74,6 +75,17 @@ USAGE:
                                        last P iterations polished exactly;
                                        DISTENC_TIER=sketched[:N[:P]] is the
                                        env equivalent)
+                   [--checkpoint FILE] [--checkpoint-every N]
+                                      (snapshot the solver state to FILE every
+                                       N iterations, default 5; atomic,
+                                       checksummed, resumable)
+  distenc resume   --checkpoint FILE --input FILE --out MODEL
+                   [--similarity FILE@MODE].. [--threads N]
+                   [--checkpoint-every N]
+                   (continue an interrupted `complete` from its snapshot;
+                    the finished model is bit-identical to the run that was
+                    never interrupted. --checkpoint-every keeps snapshotting
+                    to the same FILE while resuming)
   distenc stream   --input FILE --delta FILE.. --rank R --out MODEL
                    [--iters T] [--budget-iters T] [--tol EPS] [--seed S]
                    (each --delta is a COO file; entries on observed cells
@@ -217,8 +229,15 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
         }
     };
 
+    let checkpoint = parse_checkpoint(&opts)?;
+    if checkpoint.is_some() && solver_tier.is_sketched() {
+        eprintln!(
+            "warning: checkpoints are exact-tier artifacts; the sketched solve will not snapshot"
+        );
+    }
     let cfg = AdmmConfig {
         solver_tier,
+        checkpoint,
         rank: parse_num(req(&opts, "rank")?, "rank")?,
         lambda: opts.get("lambda").map_or(Ok(0.1), |s| parse_num(s, "lambda"))?,
         alpha: opts.get("alpha").map_or(Ok(1.0), |s| parse_num(s, "alpha"))?,
@@ -238,26 +257,92 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
 
-    // --similarity FILE@MODE, repeatable.
-    let mut laps: Vec<Option<Laplacian>> = vec![None; observed.order()];
-    if let Some(specs) = opts.get("similarity") {
-        for spec in specs.split('\n') {
-            let (path, mode) = spec
-                .rsplit_once('@')
-                .ok_or_else(|| format!("--similarity needs FILE@MODE, got `{spec}`"))?;
-            let mode: usize = parse_num(mode, "similarity mode")?;
-            if mode >= observed.order() {
-                return Err(format!("mode {mode} out of range for order {}", observed.order()));
-            }
-            laps[mode] = Some(Laplacian::from_similarity(read_similarity(path)?));
-        }
-    }
+    let laps = parse_similarities(&opts, observed.order())?;
     let lap_refs: Vec<Option<&Laplacian>> = laps.iter().map(|l| l.as_ref()).collect();
 
     let solver = AdmmSolver::new(cfg).map_err(|e| e.to_string())?;
     let result = solver.solve(&observed, &lap_refs).map_err(|e| e.to_string())?;
     eprintln!(
         "completed in {} iterations (converged: {}, train RMSE {:.6})",
+        result.iterations,
+        result.converged,
+        result.trace.final_rmse().unwrap_or(f64::NAN)
+    );
+    io::write_kruskal_file(&result.model, out).map_err(|e| e.to_string())?;
+    eprintln!("wrote rank-{} model to {out}", result.model.rank());
+    Ok(())
+}
+
+/// `--similarity FILE@MODE`, repeatable.
+fn parse_similarities(
+    opts: &BTreeMap<String, String>,
+    order: usize,
+) -> Result<Vec<Option<Laplacian>>, String> {
+    let mut laps: Vec<Option<Laplacian>> = vec![None; order];
+    if let Some(specs) = opts.get("similarity") {
+        for spec in specs.split('\n') {
+            let (path, mode) = spec
+                .rsplit_once('@')
+                .ok_or_else(|| format!("--similarity needs FILE@MODE, got `{spec}`"))?;
+            let mode: usize = parse_num(mode, "similarity mode")?;
+            if mode >= order {
+                return Err(format!("mode {mode} out of range for order {order}"));
+            }
+            laps[mode] = Some(Laplacian::from_similarity(read_similarity(path)?));
+        }
+    }
+    Ok(laps)
+}
+
+/// `--checkpoint FILE [--checkpoint-every N]` (default cadence 5).
+fn parse_checkpoint(
+    opts: &BTreeMap<String, String>,
+) -> Result<Option<CheckpointPolicy>, String> {
+    let Some(path) = opts.get("checkpoint") else {
+        if opts.contains_key("checkpoint-every") {
+            return Err("--checkpoint-every needs --checkpoint FILE".into());
+        }
+        return Ok(None);
+    };
+    let every: usize =
+        opts.get("checkpoint-every").map_or(Ok(5), |s| parse_num(s, "checkpoint-every"))?;
+    Ok(Some(CheckpointPolicy::every(every).with_path(path)))
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args, &[])?;
+    let ckpt_path = req(&opts, "checkpoint")?;
+    let input = req(&opts, "input")?;
+    let out = req(&opts, "out")?;
+    let observed = io::read_coo_file(input).map_err(|e| e.to_string())?;
+    let ckpt = Checkpoint::read_file(std::path::Path::new(ckpt_path))
+        .map_err(|e| format!("reading {ckpt_path}: {e}"))?;
+
+    // The solve numerics come from the snapshot; only the environment
+    // knobs are taken from this invocation. `--checkpoint-every` keeps
+    // snapshotting to the same file while the resumed run progresses.
+    let mut cfg = ckpt.config.clone();
+    cfg.checkpoint = opts
+        .get("checkpoint-every")
+        .map(|s| parse_num(s, "checkpoint-every"))
+        .transpose()?
+        .map(|every| CheckpointPolicy::every(every).with_path(ckpt_path));
+    cfg.exec = match opts.get("threads") {
+        Some(s) => match parse_num::<usize>(s, "threads")? {
+            n if n >= 2 => distenc_dataflow::ExecMode::Threads(n),
+            _ => distenc_dataflow::ExecMode::Sequential,
+        },
+        None => distenc_dataflow::ExecMode::default(),
+    };
+
+    let laps = parse_similarities(&opts, observed.order())?;
+    let lap_refs: Vec<Option<&Laplacian>> = laps.iter().map(|l| l.as_ref()).collect();
+
+    let solver = AdmmSolver::new(cfg).map_err(|e| e.to_string())?;
+    let result = solver.resume(&observed, &lap_refs, &ckpt).map_err(|e| e.to_string())?;
+    eprintln!(
+        "resumed at iteration {} and finished at {} (converged: {}, train RMSE {:.6})",
+        ckpt.iters_done,
         result.iterations,
         result.converged,
         result.trace.final_rmse().unwrap_or(f64::NAN)
@@ -506,8 +591,11 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         }
     } else {
         // Queued replay: submissions flow through the bounded batching
-        // queue; on backpressure the replayer waits for its oldest
-        // in-flight ticket before retrying.
+        // queue. Backpressure is absorbed in two steps: a short
+        // retry-with-backoff first (workers usually free capacity within
+        // microseconds), then — if the queue is still full — the replayer
+        // waits for its oldest in-flight ticket before trying again.
+        let retry = RetryPolicy::default();
         let queue_cfg = QueueConfig {
             capacity: opts.get("capacity").map_or(Ok(1024), |s| parse_num(s, "capacity"))?,
             max_batch: opts.get("max-batch").map_or(Ok(64), |s| parse_num(s, "max-batch"))?,
@@ -521,7 +609,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         let mut pending: VecDeque<Ticket> = VecDeque::new();
         for request in trace {
             loop {
-                match queue.submit(request.clone()) {
+                match queue.submit_with_retry(request.clone(), &retry) {
                     Ok(ticket) => {
                         pending.push_back(ticket);
                         break;
