@@ -38,6 +38,20 @@ DISTENC_THREADS=1 cargo test -q --release --test accuracy_gate --test sketched_e
 echo "==> DISTENC_THREADS=4 cargo test -q --release --test accuracy_gate --test sketched_equivalence"
 DISTENC_THREADS=4 cargo test -q --release --test accuracy_gate --test sketched_equivalence
 
+# The layout-equivalence gate: tiled solves must be bit-identical to COO
+# — factors, RMSE trace, delta trace — through the exact tier, the
+# sketched tier, and streaming warm re-solves (CSF matches to ~1e-9, its
+# documented contract), and unknown layout names (--layout flag or
+# DISTENC_LAYOUT env) must surface as typed errors, never fallbacks.
+# Both thread counts: tile partitioning, like COO blocking, must be
+# bit-invisible. The pass-count gate below separately proves the tiled
+# sweep is still one traversal per kernel (N sweeps per fused iteration).
+echo "==> DISTENC_THREADS=1 cargo test -q --test layout_equivalence"
+DISTENC_THREADS=1 cargo test -q --test layout_equivalence
+
+echo "==> DISTENC_THREADS=4 cargo test -q --test layout_equivalence"
+DISTENC_THREADS=4 cargo test -q --test layout_equivalence
+
 # The fault-tolerance gate: injected crashes, flaky tasks, and stragglers
 # must recover to bit-identical factors/RMSE (lineage restart on the
 # cluster, checkpoint files + `resume` on the host) or surface a typed
@@ -54,8 +68,11 @@ DISTENC_THREADS=4 cargo test -q --test fault_recovery
 # The allocation-budget gate needs the counting global allocator, which
 # only exists behind the alloc-count feature; it runs the solver itself,
 # so it is kept out of the default feature set (and the two sweeps above).
-echo "==> cargo test -q --features alloc-count --test alloc_budget"
-cargo test -q --features alloc-count --test alloc_budget
+# Single test thread: the counters are process-global, so the two tests
+# in the binary would pollute each other's measured windows if they ran
+# concurrently (a rare flake on busy hosts).
+echo "==> cargo test -q --features alloc-count --test alloc_budget -- --test-threads=1"
+cargo test -q --features alloc-count --test alloc_budget -- --test-threads=1
 
 # The pass-count gate proves the fused schedule sweeps the nonzeros N
 # times per iteration versus N+1 unfused, and that a sketch-phase

@@ -267,7 +267,7 @@ mod tests {
     fn planted(shape: &[usize], rank: usize, nnz: usize, seed: u64) -> CooTensor {
         let truth = KruskalTensor::random(shape, rank, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
-        let mut mask = CooTensor::new(shape.to_vec());
+        let mut mask = CooTensor::try_new(shape.to_vec()).unwrap();
         for _ in 0..nnz {
             let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
             mask.push(&idx, 1.0).unwrap();
@@ -359,7 +359,7 @@ mod tests {
     fn invalid_configs_rejected() {
         assert!(AlsSolver::new(AlsConfig { rank: 0, ..Default::default() }).is_err());
         assert!(AlsSolver::new(AlsConfig { max_iters: 0, ..Default::default() }).is_err());
-        let empty = CooTensor::new(vec![3, 3]);
+        let empty = CooTensor::try_new(vec![3, 3]).unwrap();
         assert!(AlsSolver::new(AlsConfig::default()).unwrap().solve(&empty).is_err());
     }
 }

@@ -240,7 +240,7 @@ mod tests {
     fn planted(shape: &[usize], rank: usize, nnz: usize, seed: u64) -> CooTensor {
         let truth = KruskalTensor::random(shape, rank, seed);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7e57);
-        let mut mask = CooTensor::new(shape.to_vec());
+        let mut mask = CooTensor::try_new(shape.to_vec()).unwrap();
         for _ in 0..nnz {
             let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
             mask.push(&idx, 1.0).unwrap();
@@ -303,7 +303,7 @@ mod tests {
             factors.push(m);
         }
         let truth = KruskalTensor::new(factors).unwrap();
-        let mut mask = CooTensor::new(vec![dim; 3]);
+        let mut mask = CooTensor::try_new(vec![dim; 3]).unwrap();
         for _ in 0..500 {
             let idx = [
                 rng.random_range(0..dim),

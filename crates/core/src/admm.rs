@@ -23,7 +23,7 @@ use crate::trace::{ConvergenceTrace, TracePoint};
 use crate::{CompletionResult, CoreError, Result};
 use distenc_dataflow::Executor;
 use distenc_graph::{Laplacian, TruncatedLaplacian};
-use distenc_tensor::{CooTensor, CsfTensor, KruskalTensor};
+use distenc_tensor::{CooTensor, KruskalTensor, LayoutAccel, TensorLayout};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -192,6 +192,10 @@ impl AdmmSolver {
         let cfg = AdmmConfig {
             exec: self.cfg.exec,
             checkpoint: self.cfg.checkpoint.clone(),
+            // Like `exec`, the layout override is an environment knob of
+            // *this* invocation (the checkpoint stores `use_csf`, so a
+            // legacy-selected CSF run resumes onto CSF by default).
+            layout: self.cfg.layout,
             ..ckpt.config.clone()
         };
         cfg.validate().map_err(CoreError::Invalid)?;
@@ -218,7 +222,7 @@ impl AdmmSolver {
         // bit-invisibly.
         let mut e = observed.clone();
         e.values_mut().copy_from_slice(&ckpt.residual);
-        let carry = ResidualHandoff { e, csf: Vec::new() };
+        let carry = ResidualHandoff { e, accel: LayoutAccel::default() };
         let init = KruskalTensor::new(ckpt.factors.clone())?;
         let start = Instant::now();
         solve_exact(
@@ -251,11 +255,7 @@ impl solver::CheckpointSink for FileSink<'_> {
         iters_done: usize,
         trace: &ConvergenceTrace,
     ) -> Result<()> {
-        let ResidualStore::Coo { e, .. } = &st.residual else {
-            return Err(CoreError::Invalid(
-                "host checkpoint sink requires the COO residual layout".into(),
-            ));
-        };
+        let layout = st.residual.host()?;
         let ckpt = Checkpoint {
             config: self.cfg.clone(),
             shape: self.shape.clone(),
@@ -263,7 +263,7 @@ impl solver::CheckpointSink for FileSink<'_> {
             eta: st.eta,
             factors: st.model.factors().to_vec(),
             y_mul: st.y_mul.clone(),
-            residual: e.values().to_vec(),
+            residual: layout.values().to_vec(),
             trace: trace.clone(),
         };
         ckpt.write_file(&self.path)?;
@@ -277,16 +277,18 @@ impl solver::CheckpointSink for FileSink<'_> {
 /// returned alongside it — [`solver::run`] leaves them that way (the last
 /// iteration's residual refresh runs *after* the final factor swap), and
 /// the streaming delta apply keeps them that way when the observation set
-/// changes. `csf` carries the per-mode fiber trees when the CSF path is
-/// enabled; their *structure* is reusable as long as the support is
-/// unchanged (values are re-scattered at the next solve), and the
-/// streaming layer drops them on structural deltas so they are rebuilt.
+/// changes. `accel` carries the layout's acceleration structure (CSF
+/// fiber trees, tiled entry orders); its *structure* is reusable as long
+/// as the support is unchanged (values are re-scattered at the next
+/// solve), and the streaming layer clears it on structural deltas so the
+/// next solve rebuilds.
 #[derive(Debug, Clone)]
 pub struct ResidualHandoff {
     /// Residual values on the observed support, in entry order.
     pub e: CooTensor,
-    /// Per-mode CSF trees (empty unless [`AdmmConfig::use_csf`]).
-    pub csf: Vec<CsfTensor>,
+    /// Layout acceleration structure of the solve that produced `e`
+    /// (empty for the plain COO layout).
+    pub accel: LayoutAccel,
 }
 
 /// Shared problem validation (also used by the distributed solver).
@@ -395,9 +397,9 @@ pub(crate) fn solve_with_handoff(
 /// The residual shares the observed support. Cold: its values start
 /// stale (they still hold `T`'s) and the solver refreshes them before
 /// anything reads them. Warm: the carried values are already fresh for
-/// the warm-start model and the prologue is skipped. The optional CSF
-/// trees (§III-C's fiber layout) are reused structurally when the
-/// carried set still matches the support; otherwise rebuilt.
+/// the warm-start model and the prologue is skipped. The carried layout
+/// acceleration structure (CSF trees, tiled orders) is reused when it
+/// still matches the support; otherwise the layout rebuilds it.
 fn build_host_layout(
     observed: &CooTensor,
     cfg: &AdmmConfig,
@@ -411,29 +413,14 @@ fn build_host_layout(
         })
         .collect();
 
+    let kind = cfg.resolved_layout().map_err(CoreError::Invalid)?;
     let residual_fresh = carry.is_some();
-    let (e, carried_csf) = match carry {
-        Some(c) => (c.e, c.csf),
-        None => (observed.clone(), Vec::new()),
+    let (e, accel) = match carry {
+        Some(c) => (c.e, c.accel),
+        None => (observed.clone(), LayoutAccel::default()),
     };
-    let csf: Vec<CsfTensor> = if cfg.use_csf {
-        let mut csf = carried_csf;
-        if csf.len() == n_modes && csf.iter().all(|c| c.nnz() == observed.nnz()) {
-            // Same support: keep the trees, re-scatter the (fresh) values
-            // into their leaves — no tree construction, no factor sweeps.
-            for c in csf.iter_mut() {
-                c.set_values(&e)?;
-            }
-            csf
-        } else {
-            (0..n_modes)
-                .map(|n| CsfTensor::for_mode(&e, n))
-                .collect::<distenc_tensor::Result<_>>()?
-        }
-    } else {
-        Vec::new()
-    };
-    Ok((exec, boundaries, ResidualStore::Coo { e, csf }, residual_fresh))
+    let layout = TensorLayout::build_with(e, kind, accel)?;
+    Ok((exec, boundaries, ResidualStore::Host(layout), residual_fresh))
 }
 
 /// The single-phase exact host solve (the pre-tier behavior,
@@ -457,7 +444,8 @@ fn solve_exact(
     clock: impl Fn(usize) -> f64,
 ) -> Result<(CompletionResult, ResidualHandoff)> {
     let (exec, boundaries, store, residual_fresh) = build_host_layout(observed, cfg, carry)?;
-    let mut backend = HostBackend::new(observed, &boundaries, cfg.rank, exec, cfg.fused, clock)?;
+    let mut backend =
+        HostBackend::new(store.host()?, &boundaries, cfg.rank, exec, cfg.fused, clock)?;
     let mut st = SolverState::new(observed, truncated, cfg, initial, store, boundaries)?;
     let resume_point = resume.map(|ck| {
         st.y_mul = ck.y_mul.clone();
@@ -483,10 +471,8 @@ fn solve_exact(
         resume_point,
         sink,
     )?;
-    let ResidualStore::Coo { e, csf } = residual else {
-        return Err(CoreError::Invalid("host solve produced a non-COO residual".into()));
-    };
-    Ok((result, ResidualHandoff { e, csf }))
+    let (e, accel) = residual.into_host()?.into_parts();
+    Ok((result, ResidualHandoff { e, accel }))
 }
 
 /// The two-phase sketched solve: `sketch_iters` sampled iterations on
@@ -530,10 +516,8 @@ fn solve_sketched(
     let st = SolverState::new(observed, truncated, &cfg_a, initial, store, boundaries)?;
     let (res_a, residual) =
         solver::run(observed, truncated, &cfg_a, &mut backend_a, st, residual_fresh)?;
-    let ResidualStore::Coo { e, csf } = residual else {
-        return Err(CoreError::Invalid("sketched solve produced a non-COO residual".into()));
-    };
-    let handoff = ResidualHandoff { e, csf };
+    let (e, accel) = residual.into_host()?.into_parts();
+    let handoff = ResidualHandoff { e, accel };
 
     // Phase B: exact polish, warm-started from the sketch phase's model
     // and (fresh) residual. `polish_iters = 0` is legal: the fallback in

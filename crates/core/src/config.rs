@@ -161,7 +161,19 @@ pub struct AdmmConfig {
     /// Use the compressed-sparse-fiber MTTKRP (§III-C's SPLATT layout) in
     /// the serial solver instead of the COO kernel. Identical results;
     /// faster on fiber-dense tensors (the `kernels` bench quantifies it).
+    /// Superseded by [`AdmmConfig::layout`]: this legacy switch only
+    /// matters when `layout` is `None` and `DISTENC_LAYOUT` is unset.
     pub use_csf: bool,
+    /// Which storage layout the host solver keeps the residual tensor in
+    /// (see [`distenc_tensor::LayoutKind`]): flat COO, CSF fiber trees,
+    /// or the cache-blocked tiled layout. `None` (the default) resolves
+    /// at solve time with precedence **config > CLI > env**: the
+    /// `--layout` CLI flag writes this field, the `DISTENC_LAYOUT`
+    /// environment variable is consulted next (unknown names are typed
+    /// errors, never silent fallbacks), and finally the legacy
+    /// [`AdmmConfig::use_csf`] mapping applies (`true` → CSF, `false` →
+    /// COO). See [`AdmmConfig::resolved_layout`].
+    pub layout: Option<distenc_tensor::LayoutKind>,
     /// Host execution backend for the solver's per-iteration kernels
     /// (MTTKRP, residual). Bit-identical results under every setting —
     /// see `distenc-dataflow`'s `exec` module; defaults from the
@@ -200,6 +212,7 @@ impl Default for AdmmConfig {
             nonneg: false,
             partition: distenc_partition::PartitionStrategy::Greedy,
             use_csf: false,
+            layout: None,
             exec: distenc_dataflow::ExecMode::default(),
             fused: true,
             solver_tier: SolverTier::default(),
@@ -277,6 +290,33 @@ impl AdmmConfig {
     pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = Some(policy);
         self
+    }
+
+    /// Builder-style residual-layout override (see [`AdmmConfig::layout`]).
+    pub fn with_layout(mut self, layout: distenc_tensor::LayoutKind) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// The residual layout this config selects, with the documented
+    /// precedence: an explicit [`AdmmConfig::layout`] wins, else the
+    /// `DISTENC_LAYOUT` environment variable (an unknown name is a typed
+    /// error, consistent with `--layout` parsing and unlike
+    /// `DISTENC_TIER`'s silent fallback — a typo must not silently
+    /// change which kernels run), else the legacy [`AdmmConfig::use_csf`]
+    /// mapping.
+    pub fn resolved_layout(
+        &self,
+    ) -> std::result::Result<distenc_tensor::LayoutKind, String> {
+        use distenc_tensor::LayoutKind;
+        if let Some(kind) = self.layout {
+            return Ok(kind);
+        }
+        match LayoutKind::from_env() {
+            Ok(Some(kind)) => Ok(kind),
+            Ok(None) => Ok(if self.use_csf { LayoutKind::Csf } else { LayoutKind::Coo }),
+            Err(e) => Err(e.to_string()),
+        }
     }
 
     /// Sanity-check parameter ranges, returning a description of the first
@@ -373,6 +413,19 @@ mod tests {
             SolverTier::parse("sketched:512:3"),
             SolverTier::Sketched { samples: 512, polish_iters: 3 }
         );
+    }
+
+    #[test]
+    fn explicit_layout_beats_use_csf() {
+        // Env-independent precedence check: an explicit config layout
+        // wins over the legacy flag regardless of DISTENC_LAYOUT (the
+        // env and use_csf fallback cases live in
+        // tests/layout_equivalence.rs, which owns the variable).
+        use distenc_tensor::LayoutKind;
+        let c = AdmmConfig { use_csf: true, ..Default::default() }
+            .with_layout(LayoutKind::Tiled);
+        assert_eq!(c.resolved_layout().unwrap(), LayoutKind::Tiled);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

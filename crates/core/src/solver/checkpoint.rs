@@ -322,6 +322,12 @@ impl Checkpoint {
             nonneg,
             partition,
             use_csf,
+            // Not serialized: the layout override is an invocation-time
+            // knob like `exec`. `use_csf` above *is* stored, so a run
+            // whose CSF selection came from the legacy flag resumes onto
+            // the same layout; `resume()` re-applies the resuming
+            // solver's own `layout` on top.
+            layout: None,
             // Environment fields: not serialized, reset to this host's
             // defaults (see the module docs).
             exec: distenc_dataflow::ExecMode::default(),

@@ -226,11 +226,7 @@ impl StepBackend for ClusterBackend<'_> {
         mode: usize,
         out: &mut Mat,
     ) -> Result<()> {
-        let ResidualStore::Blocked { blocks } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "cluster backend requires a blocked residual".into(),
-            ));
-        };
+        let blocks = residual.blocked()?;
         let cl = self.cl;
         let rank = self.rank;
         // Remote factor rows for every mode except `mode`'s own output —
@@ -350,11 +346,7 @@ impl StepBackend for ClusterBackend<'_> {
         model: &KruskalTensor,
         residual: &mut ResidualStore,
     ) -> Result<()> {
-        let ResidualStore::Blocked { blocks } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "cluster backend requires a blocked residual".into(),
-            ));
-        };
+        let blocks = residual.blocked_mut()?;
         // This stage reads every mode's factor rows at each block.
         self.charge_factor_fetch(None)?;
         crate::record_entry_sweep(blocks.iter().map(|b| b.entries.nnz()).sum());
@@ -388,11 +380,7 @@ impl StepBackend for ClusterBackend<'_> {
             self.refresh_residual(observed, model, residual)?;
             return Ok(residual.frob_norm_sq());
         }
-        let ResidualStore::Blocked { blocks } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "cluster backend requires a blocked residual".into(),
-            ));
-        };
+        let blocks = residual.blocked_mut()?;
         self.charge_factor_fetch(None)?;
         crate::record_entry_sweep(blocks.iter().map(|b| b.entries.nnz()).sum());
         let rank = self.rank;

@@ -1,10 +1,13 @@
 //! The single-machine [`StepBackend`]: thread-blocked kernels on a
 //! [`distenc_dataflow::Executor`], no accounting.
 //!
-//! Every kernel workspace is sized once at construction and reused every
-//! iteration, so the steady state allocates nothing on the calling
-//! thread (the threaded executor hands work to its resident pool through
-//! an unboxed index broadcast; the sequential path is a plain loop).
+//! All storage-dependent work goes through the residual's
+//! [`TensorLayout`] — this backend never inspects which layout (COO,
+//! CSF, or tiled) is in play; it sizes one [`LayoutWorkspace`] at
+//! construction and hands every kernel call to the layout's dispatch
+//! point. The steady state allocates nothing on the calling thread (the
+//! threaded executor hands work to its resident pool through an unboxed
+//! index broadcast; the sequential path is a plain loop).
 //!
 //! With fusion enabled this backend implements the N-pass schedule: the
 //! end-of-iteration [`StepBackend::fused_step`] refreshes the residual,
@@ -12,25 +15,24 @@
 //! into the `h0` stash in one sweep over the nonzeros; the next
 //! [`StepBackend::sparse_mttkrp`] call for mode 0 serves the stash
 //! instead of sweeping again. Every fused kernel is bit-identical to the
-//! separate sweeps it replaces (`distenc_tensor::fused` pins this), so
-//! the solver's iterates — and the golden traces — are unchanged.
+//! separate sweeps it replaces (`distenc_tensor::fused` and
+//! `distenc_tensor::layout` pin this), so the solver's iterates — and
+//! the golden traces — are unchanged.
 
 use super::{ResidualStore, StepBackend};
 use crate::Result;
 use distenc_dataflow::Executor;
 use distenc_linalg::Mat;
-use distenc_tensor::fused::fused_mttkrp_refresh_into;
-use distenc_tensor::mttkrp::{mttkrp_blocked_into, MttkrpWorkspace};
-use distenc_tensor::residual::{residual_refresh_exec, ResidualWorkspace};
-use distenc_tensor::{CooTensor, KruskalTensor};
+use distenc_tensor::residual::ResidualWorkspace;
+use distenc_tensor::{CooTensor, KruskalTensor, LayoutWorkspace, TensorLayout};
 
 /// Host backend: Algorithm 2 greedy thread blocking for the MTTKRP,
 /// even-chunked residual refresh, plain Grams, wall-clock trace stamps.
 pub(crate) struct HostBackend<C> {
     exec: Executor,
-    /// One bucketed workspace per mode (unused rows on the CSF path, but
-    /// cheap: the buckets are indices into the fixed support).
-    mtt: Vec<MttkrpWorkspace>,
+    /// The layout's per-mode sweep workspace (buckets for COO, tile
+    /// partitions for tiled, nothing for CSF).
+    lw: LayoutWorkspace,
     res: ResidualWorkspace,
     /// Fuse the residual refresh with the next mode-0 MTTKRP
     /// ([`crate::AdmmConfig::fused`]).
@@ -44,23 +46,21 @@ pub(crate) struct HostBackend<C> {
 }
 
 impl<C: Fn(usize) -> f64> HostBackend<C> {
-    /// Bucket `observed` for every mode over `boundaries` at rank `rank`,
-    /// chunk the residual refresh for `exec`, and stamp trace points with
-    /// `clock`.
+    /// Size the layout workspace for every mode over `boundaries` at rank
+    /// `rank`, chunk the residual refresh for `exec`, and stamp trace
+    /// points with `clock`.
     pub fn new(
-        observed: &CooTensor,
+        layout: &TensorLayout,
         boundaries: &[Vec<usize>],
         rank: usize,
         exec: Executor,
         fused: bool,
         clock: C,
     ) -> Result<Self> {
-        let mtt = (0..observed.order())
-            .map(|n| MttkrpWorkspace::new(observed, n, &boundaries[n], rank))
-            .collect::<distenc_tensor::Result<Vec<_>>>()?;
-        let res = ResidualWorkspace::new(observed.nnz(), &exec);
-        let h0 = Mat::zeros(observed.shape()[0], rank);
-        Ok(HostBackend { exec, mtt, res, fused, h0, h0_ready: false, clock })
+        let lw = layout.workspace(rank, boundaries, &exec)?;
+        let res = ResidualWorkspace::new(layout.nnz(), &exec);
+        let h0 = Mat::zeros(layout.entries().shape()[0], rank);
+        Ok(HostBackend { exec, lw, res, fused, h0, h0_ready: false, clock })
     }
 }
 
@@ -80,19 +80,9 @@ impl<C: Fn(usize) -> f64> StepBackend for HostBackend<C> {
             out.as_mut_slice().copy_from_slice(self.h0.as_slice());
             return Ok(());
         }
-        let ResidualStore::Coo { e, csf } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "host backend requires a COO residual".into(),
-            ));
-        };
-        if csf.is_empty() {
-            mttkrp_blocked_into(e, model.factors(), &mut self.mtt[mode], &self.exec, out)?;
-        } else {
-            // §III-C's fiber layout: the tree walk shares partial Hadamard
-            // products across fibers. Same zero-then-accumulate contract
-            // as the blocked kernel.
-            csf[mode].mttkrp_root_into(model.factors(), out)?;
-        }
+        residual
+            .host()?
+            .mttkrp_into(model.factors(), mode, &mut self.lw, &self.exec, out)?;
         Ok(())
     }
 
@@ -107,15 +97,9 @@ impl<C: Fn(usize) -> f64> StepBackend for HostBackend<C> {
         model: &KruskalTensor,
         residual: &mut ResidualStore,
     ) -> Result<()> {
-        let ResidualStore::Coo { e, csf } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "host backend requires a COO residual".into(),
-            ));
-        };
-        residual_refresh_exec(observed, model, e, &mut self.res, &self.exec)?;
-        for c in csf.iter_mut() {
-            c.set_values(e)?;
-        }
+        residual
+            .host_mut()?
+            .refresh_values(observed, model, &mut self.res, &self.exec)?;
         Ok(())
     }
 
@@ -132,30 +116,13 @@ impl<C: Fn(usize) -> f64> StepBackend for HostBackend<C> {
             self.refresh_residual(observed, model, residual)?;
             return Ok(residual.frob_norm_sq());
         }
-        let ResidualStore::Coo { e, csf } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "host backend requires a COO residual".into(),
-            ));
-        };
-        let frob = if csf.is_empty() {
-            fused_mttkrp_refresh_into(
-                observed,
-                model,
-                &mut self.mtt[0],
-                &self.exec,
-                e,
-                &mut self.h0,
-            )?
-        } else {
-            // The mode-0 tree walk refreshes its own leaves and `e`; the
-            // other modes' trees re-scatter from `e` (values only, not a
-            // sweep over the factors).
-            let frob = csf[0].fused_mttkrp_refresh_root_into(observed, model, e, &mut self.h0)?;
-            for c in csf[1..].iter_mut() {
-                c.set_values(e)?;
-            }
-            frob
-        };
+        let frob = residual.host_mut()?.fused_refresh_into(
+            observed,
+            model,
+            &mut self.lw,
+            &self.exec,
+            &mut self.h0,
+        )?;
         self.h0_ready = true;
         Ok(frob)
     }

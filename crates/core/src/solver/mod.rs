@@ -46,7 +46,7 @@ use crate::{CompletionResult, CoreError, Result};
 use distenc_graph::{ShiftedInverseScratch, TruncatedLaplacian};
 use distenc_linalg::{Cholesky, Mat};
 use distenc_tensor::mttkrp::gram_product_into;
-use distenc_tensor::{CooTensor, CsfTensor, KruskalTensor};
+use distenc_tensor::{CooTensor, KruskalTensor, TensorLayout};
 
 pub mod checkpoint;
 pub(crate) mod cluster;
@@ -62,15 +62,12 @@ pub(crate) use sketched::SketchedBackend;
 /// iteration ([`StepBackend::refresh_residual`]); the support never
 /// changes after construction.
 pub(crate) enum ResidualStore {
-    /// One flat COO tensor sharing the observed support (host layout),
-    /// plus the per-mode CSF trees when the CSF path is enabled (their
-    /// leaf values are refreshed alongside `e`).
-    Coo {
-        /// Residual values on the observed support.
-        e: CooTensor,
-        /// Per-mode fiber trees (empty unless `cfg.use_csf`).
-        csf: Vec<CsfTensor>,
-    },
+    /// The host drivers' residual behind the [`TensorLayout`] dispatch
+    /// point: the entry list plus whatever acceleration structure the
+    /// selected layout (COO / CSF / tiled) carries. Backends reach it
+    /// through [`ResidualStore::host`] and never match on the concrete
+    /// storage — the layout owns kernel dispatch.
+    Host(TensorLayout),
     /// Algorithm 2 block partition of the residual (distributed layout):
     /// each block keeps its entry slice and a parallel value vector.
     Blocked {
@@ -91,17 +88,69 @@ pub(crate) struct ResidualBlock {
 
 impl ResidualStore {
     /// `‖E‖²_F`, summed in this layout's fixed order (flat entry order
-    /// for [`ResidualStore::Coo`], block-major for
+    /// for [`ResidualStore::Host`], block-major for
     /// [`ResidualStore::Blocked`]) — the same associations the
     /// pre-refactor drivers used, so the RMSE bits are unchanged.
     pub fn frob_norm_sq(&self) -> f64 {
         match self {
-            ResidualStore::Coo { e, .. } => e.frob_norm_sq(),
+            ResidualStore::Host(layout) => layout.frob_norm_sq(),
             ResidualStore::Blocked { blocks } => blocks
                 .iter()
                 .flat_map(|b| b.vals.iter())
                 .map(|v| v * v)
                 .sum(),
+        }
+    }
+
+    /// The host layout, or a typed error when a backend was handed the
+    /// wrong decomposition (the one storage check left; backends call
+    /// this instead of matching on variants).
+    pub fn host(&self) -> Result<&TensorLayout> {
+        match self {
+            ResidualStore::Host(layout) => Ok(layout),
+            ResidualStore::Blocked { .. } => Err(CoreError::Invalid(
+                "host backend requires the host residual layout".into(),
+            )),
+        }
+    }
+
+    /// Mutable [`ResidualStore::host`].
+    pub fn host_mut(&mut self) -> Result<&mut TensorLayout> {
+        match self {
+            ResidualStore::Host(layout) => Ok(layout),
+            ResidualStore::Blocked { .. } => Err(CoreError::Invalid(
+                "host backend requires the host residual layout".into(),
+            )),
+        }
+    }
+
+    /// Consume the store into its host layout (the hand-off path).
+    pub fn into_host(self) -> Result<TensorLayout> {
+        match self {
+            ResidualStore::Host(layout) => Ok(layout),
+            ResidualStore::Blocked { .. } => Err(CoreError::Invalid(
+                "host solve produced a blocked residual".into(),
+            )),
+        }
+    }
+
+    /// The Algorithm 2 blocks, or a typed error on the host layout.
+    pub fn blocked(&self) -> Result<&[ResidualBlock]> {
+        match self {
+            ResidualStore::Blocked { blocks } => Ok(blocks),
+            ResidualStore::Host(_) => Err(CoreError::Invalid(
+                "cluster backend requires a blocked residual".into(),
+            )),
+        }
+    }
+
+    /// Mutable [`ResidualStore::blocked`].
+    pub fn blocked_mut(&mut self) -> Result<&mut [ResidualBlock]> {
+        match self {
+            ResidualStore::Blocked { blocks } => Ok(blocks),
+            ResidualStore::Host(_) => Err(CoreError::Invalid(
+                "cluster backend requires a blocked residual".into(),
+            )),
         }
     }
 }

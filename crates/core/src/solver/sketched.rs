@@ -46,7 +46,7 @@ use distenc_dataflow::Executor;
 use distenc_linalg::sketch::{hadamard_rows_skip_into, SketchScratch};
 use distenc_linalg::vec_ops::dot;
 use distenc_linalg::Mat;
-use distenc_tensor::residual::{residual_refresh_exec, ResidualWorkspace};
+use distenc_tensor::residual::ResidualWorkspace;
 use distenc_tensor::sample::EntrySampler;
 use distenc_tensor::{CooTensor, KruskalTensor};
 use rand::rngs::StdRng;
@@ -166,15 +166,12 @@ impl<'t, C: Fn(usize) -> f64> StepBackend for SketchedBackend<'t, C> {
         model: &KruskalTensor,
         residual: &mut ResidualStore,
     ) -> Result<()> {
-        let ResidualStore::Coo { e, csf } = residual else {
-            return Err(crate::CoreError::Invalid(
-                "sketched backend requires a COO residual".into(),
-            ));
-        };
-        residual_refresh_exec(observed, model, e, &mut self.res, &self.exec)?;
-        for c in csf.iter_mut() {
-            c.set_values(e)?;
-        }
+        // The one exact kernel this backend runs — dispatched through the
+        // layout like the host backend's, so a sketched solve on a CSF or
+        // tiled layout keeps its acceleration structure in sync.
+        residual
+            .host_mut()?
+            .refresh_values(observed, model, &mut self.res, &self.exec)?;
         Ok(())
     }
 

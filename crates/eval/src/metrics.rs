@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn relative_error_zero_for_exact_model() {
         let model = KruskalTensor::random(&[5, 5], 2, 1);
-        let mut mask = CooTensor::new(vec![5, 5]);
+        let mut mask = CooTensor::try_new(vec![5, 5]).unwrap();
         mask.push(&[0, 0], 1.0).unwrap();
         mask.push(&[3, 4], 1.0).unwrap();
         let test = model.eval_at(&mask).unwrap();
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn relative_error_empty_truth() {
         let model = KruskalTensor::random(&[3, 3], 1, 2);
-        let test = CooTensor::new(vec![3, 3]);
+        let test = CooTensor::try_new(vec![3, 3]).unwrap();
         assert_eq!(relative_error(&model, &test).unwrap(), 0.0);
     }
 
@@ -146,7 +146,7 @@ mod tests {
         // Model == truth: the top-ranked items are exactly the relevant
         // ones.
         let model = KruskalTensor::random(&[4, 6], 2, 5);
-        let mut mask = CooTensor::new(vec![4, 6]);
+        let mut mask = CooTensor::try_new(vec![4, 6]).unwrap();
         for u in 0..4 {
             for i in 0..6 {
                 mask.push(&[u, i], 1.0).unwrap();
@@ -165,7 +165,7 @@ mod tests {
         // A model predicting the *negation* of truth ranks irrelevant
         // items first.
         let truth = KruskalTensor::random(&[3, 8], 2, 9);
-        let mut mask = CooTensor::new(vec![3, 8]);
+        let mut mask = CooTensor::try_new(vec![3, 8]).unwrap();
         for u in 0..3 {
             for i in 0..8 {
                 mask.push(&[u, i], 1.0).unwrap();

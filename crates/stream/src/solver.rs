@@ -194,10 +194,12 @@ impl StreamingSolver {
             }
         }
         if batch.is_structural() {
-            // The support (or shape) changed: the carried CSF fiber trees
-            // no longer describe it. Drop them; the next solve rebuilds.
+            // The support (or shape) changed: the carried layout
+            // acceleration structures (CSF fiber trees, tiled entry
+            // orders) no longer describe it. Drop them; the next solve
+            // rebuilds.
             if let Some(c) = &mut self.carry {
-                c.csf.clear();
+                c.accel.clear();
             }
         }
         Ok(())

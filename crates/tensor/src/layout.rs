@@ -1,0 +1,1179 @@
+//! Storage layouts behind one dispatch point: [`TensorLayout`].
+//!
+//! The solver's residual tensor `E = Ω∗(T − [[A…]])` is traversed by
+//! three kernels every iteration — per-mode MTTKRP, the fused
+//! refresh+MTTKRP sweep, and the residual value refresh. Historically the
+//! COO and CSF code paths for those kernels were selected ad hoc at every
+//! call site (`if csf.is_empty() { … } else { … }`). This module owns
+//! that choice: a [`TensorLayout`] wraps the residual entries plus any
+//! layout acceleration structure (CSF fiber trees, tiled entry orders)
+//! and exposes the kernels; callers never match on concrete storage.
+//!
+//! Three layouts exist:
+//!
+//! * [`LayoutKind::Coo`] — the flat entry list, swept in file order
+//!   through the blocked workspace kernels of [`crate::mttkrp`] and
+//!   [`crate::fused`]. The bit-exactness baseline.
+//! * [`LayoutKind::Csf`] — SPLATT's compressed sparse fibers
+//!   ([`crate::csf`]). Factorizes shared index prefixes, so its
+//!   accumulation *association* differs: results match COO to rounding
+//!   (≈1e-9 over a solve), not bit-for-bit.
+//! * [`LayoutKind::Tiled`] — a cache-blocked entry order, new here. Per
+//!   mode, entries are stably counting-sorted into tiles of
+//!   [`TILE_ROWS`] consecutive output rows (the per-tile `H` slab stays
+//!   L1-resident) with indices packed as `u32`, and the sweep runs an
+//!   explicit 4-entry-interleaved, 4-way-unrolled kernel. **Bit-identical
+//!   to COO at every thread count** — see below.
+//!
+//! # Why the tiled layout is bit-exact
+//!
+//! Every number the COO kernels produce is a left fold in a pinned
+//! order; the tiled kernels reproduce each fold's exact operation
+//! sequence:
+//!
+//! * **Per-output-row MTTKRP chains.** A mode-`n` tile contains *whole*
+//!   output rows (`tile = row / TILE_ROWS`), and the counting sort is
+//!   stable, so within a tile — and hence within a row — entries keep
+//!   their original order. Every `H` row therefore sums its
+//!   contributions in exactly the sequential COO order, for any tile
+//!   size and any partitioning of tiles across threads.
+//! * **Per-entry scratch chains.** Each entry's contribution is built by
+//!   the same sequence: broadcast the value, Hadamard-multiply the
+//!   non-`mode` factor rows in ascending mode order. The 4-way lane
+//!   unroll only regroups *independent* elementwise lanes; each lane's
+//!   chain is unchanged.
+//! * **The fused eval fold.** [`crate::fused`] computes
+//!   `Σᵣ Πₖ A⁽ᵏ⁾(iₖ,r)` with `r` outer and `k` inner. The tiled kernel
+//!   restructures this as: per-lane products with `k` outer (each lane
+//!   `r` multiplies the same factors in the same ascending order — the
+//!   identical chain), then one scalar sum over `r` ascending (the
+//!   identical chain). Processing 4 entries per step gives 4 independent
+//!   accumulator chains, hiding the serial-add latency that dominates
+//!   the one-entry-at-a-time sweep — without touching any single chain.
+//! * **`‖E‖²_F`** is folded flat over the residual values in entry order
+//!   after the tile-order results are scattered back — the same chain as
+//!   [`CooTensor::frob_norm_sq`].
+//!
+//! `tests/layout_equivalence.rs` pins COO↔tiled bit-identity of whole
+//! solves (factors, RMSE, trace) at `DISTENC_THREADS=1` and `=4`.
+//!
+//! # Selection
+//!
+//! The solver resolves its layout with precedence **config > CLI >
+//! env**: an explicit `AdmmConfig::layout`, else the `--layout
+//! coo|csf|tiled` CLI flag (which sets the config field), else the
+//! [`LAYOUT_ENV`] environment variable, else the legacy `use_csf` flag's
+//! mapping. Invalid names are typed errors, never silent fallbacks.
+
+use crate::coo::CooTensor;
+use crate::csf::CsfTensor;
+use crate::kruskal::KruskalTensor;
+use crate::mttkrp::{dispatch_rank, validate, MttkrpWorkspace, RankKernel};
+use crate::residual::{residual_refresh_exec, ResidualWorkspace};
+use crate::{Result, TensorError};
+use distenc_dataflow::Executor;
+use distenc_linalg::Mat;
+
+/// Environment variable naming the default layout (`coo`, `csf`, or
+/// `tiled`) when neither the config nor the CLI picks one.
+pub const LAYOUT_ENV: &str = "DISTENC_LAYOUT";
+
+/// Output rows per tile. 16 rows × rank 16 × 8 bytes = 2 KiB per slab
+/// tile — comfortably L1-resident. The value is a pure performance knob:
+/// the stable tile sort preserves per-row entry order for *any* tile
+/// size, so changing it never changes a bit (see the module docs).
+const TILE_ROWS: usize = 16;
+
+/// The storage layouts a [`TensorLayout`] can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// Flat COO entry list (the bit-exactness baseline).
+    Coo,
+    /// Compressed sparse fibers (matches COO to rounding, not bits).
+    Csf,
+    /// Cache-blocked tile order with widened kernels (bit-identical to
+    /// COO).
+    Tiled,
+}
+
+impl LayoutKind {
+    /// Parse a layout name. Unknown names are a typed
+    /// [`TensorError::InvalidLayout`] — selection must never fall back
+    /// silently.
+    pub fn parse(s: &str) -> Result<LayoutKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "coo" => Ok(LayoutKind::Coo),
+            "csf" => Ok(LayoutKind::Csf),
+            "tiled" => Ok(LayoutKind::Tiled),
+            _ => Err(TensorError::InvalidLayout(s.to_string())),
+        }
+    }
+
+    /// The layout requested by the [`LAYOUT_ENV`] environment variable:
+    /// `Ok(None)` when unset, a typed error when set to an unknown name.
+    pub fn from_env() -> Result<Option<LayoutKind>> {
+        match std::env::var(LAYOUT_ENV) {
+            Ok(v) => LayoutKind::parse(&v).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LayoutKind::Coo => "coo",
+            LayoutKind::Csf => "csf",
+            LayoutKind::Tiled => "tiled",
+        })
+    }
+}
+
+impl std::str::FromStr for LayoutKind {
+    type Err = TensorError;
+
+    fn from_str(s: &str) -> Result<LayoutKind> {
+        LayoutKind::parse(s)
+    }
+}
+
+/// One mode's tiled entry order: entry positions stably sorted by output
+/// tile (`row / TILE_ROWS`), the per-tile entry ranges, and all index
+/// tuples packed as `u32` in tile order so the sweep streams one
+/// contiguous array instead of strided `usize` gathers.
+///
+/// The structure depends only on the observed *support* (like a CSF
+/// tree), never on the values, so it is reusable across re-solves on an
+/// unchanged support.
+#[derive(Debug, Clone)]
+pub(crate) struct TiledMode {
+    /// Tile `t` owns tile-order positions `tile_ptr[t]..tile_ptr[t+1]`
+    /// (and output rows `t*TILE_ROWS..min((t+1)*TILE_ROWS, dim)`).
+    tile_ptr: Vec<usize>,
+    /// Tile-order position → original entry position.
+    perm: Vec<usize>,
+    /// Packed index tuples in tile order: entry `j`'s tuple is
+    /// `idx[j*order..(j+1)*order]`.
+    idx: Vec<u32>,
+    /// The mode's dimension.
+    dim: usize,
+    /// Entries covered (must match the residual's support).
+    nnz: usize,
+}
+
+impl TiledMode {
+    /// Lay out `e`'s entries in mode-`mode` tile order. A forward-scan
+    /// counting sort — stable, so per-row entry order is preserved (the
+    /// bit-exactness invariant).
+    fn build(e: &CooTensor, mode: usize) -> Result<Self> {
+        if let Some(&d) = e.shape().iter().find(|&&d| d > u32::MAX as usize) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "tiled layout packs indices as u32; dimension {d} exceeds {}",
+                u32::MAX
+            )));
+        }
+        let order = e.order();
+        let dim = e.shape()[mode];
+        let nnz = e.nnz();
+        let n_tiles = dim.div_ceil(TILE_ROWS);
+        let mut counts = vec![0usize; n_tiles];
+        for pos in 0..nnz {
+            counts[e.index(pos)[mode] / TILE_ROWS] += 1;
+        }
+        let mut tile_ptr = Vec::with_capacity(n_tiles + 1);
+        let mut acc = 0usize;
+        tile_ptr.push(0);
+        for &c in &counts {
+            acc += c;
+            tile_ptr.push(acc);
+        }
+        let mut cursor = tile_ptr.clone();
+        let mut perm = vec![0usize; nnz];
+        for pos in 0..nnz {
+            let t = e.index(pos)[mode] / TILE_ROWS;
+            perm[cursor[t]] = pos;
+            cursor[t] += 1;
+        }
+        let mut idx = Vec::with_capacity(nnz * order);
+        for &pos in &perm {
+            for &i in e.index(pos) {
+                idx.push(i as u32);
+            }
+        }
+        Ok(TiledMode { tile_ptr, perm, idx, dim, nnz })
+    }
+}
+
+/// Layout acceleration structure carried between consecutive solves on
+/// an unchanged support (inside `ResidualHandoff`): CSF fiber trees
+/// and/or tiled entry orders. Both depend only on the support, so the
+/// streaming layer clears them on structural deltas and the next solve
+/// rebuilds.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutAccel {
+    csf: Vec<CsfTensor>,
+    tiled: Vec<TiledMode>,
+}
+
+impl LayoutAccel {
+    /// Drop every carried structure (support changed — rebuild at the
+    /// next solve).
+    pub fn clear(&mut self) {
+        self.csf.clear();
+        self.tiled.clear();
+    }
+
+    /// Whether any structure is carried.
+    pub fn is_empty(&self) -> bool {
+        self.csf.is_empty() && self.tiled.is_empty()
+    }
+}
+
+/// The residual tensor in a selected storage layout — the one dispatch
+/// point for storage-dependent kernels. Owns the entry list (values in
+/// original entry order, shared with the observed support) plus the
+/// layout's acceleration structure.
+#[derive(Debug, Clone)]
+pub struct TensorLayout {
+    kind: LayoutKind,
+    e: CooTensor,
+    csf: Vec<CsfTensor>,
+    tiled: Vec<TiledMode>,
+}
+
+impl TensorLayout {
+    /// Wrap `e` in layout `kind`, building the acceleration structure
+    /// from scratch.
+    pub fn build(e: CooTensor, kind: LayoutKind) -> Result<Self> {
+        Self::build_with(e, kind, LayoutAccel::default())
+    }
+
+    /// Wrap `e` in layout `kind`, reusing carried acceleration structure
+    /// when it still matches the support (same mode count, same nnz —
+    /// the caller is responsible for support identity, as with the
+    /// residual hand-off itself). CSF trees get `e`'s values
+    /// re-scattered into their leaves; tiled orders are value-free.
+    pub fn build_with(e: CooTensor, kind: LayoutKind, accel: LayoutAccel) -> Result<Self> {
+        let n_modes = e.order();
+        let LayoutAccel { csf: carried_csf, tiled: carried_tiled } = accel;
+        let csf: Vec<CsfTensor> = if kind == LayoutKind::Csf {
+            let mut csf = carried_csf;
+            if csf.len() == n_modes && csf.iter().all(|c| c.nnz() == e.nnz()) {
+                for c in csf.iter_mut() {
+                    c.set_values(&e)?;
+                }
+                csf
+            } else {
+                (0..n_modes).map(|n| CsfTensor::for_mode(&e, n)).collect::<Result<_>>()?
+            }
+        } else {
+            Vec::new()
+        };
+        let tiled: Vec<TiledMode> = if kind == LayoutKind::Tiled {
+            if carried_tiled.len() == n_modes && carried_tiled.iter().all(|t| t.nnz == e.nnz())
+            {
+                carried_tiled
+            } else {
+                (0..n_modes).map(|n| TiledMode::build(&e, n)).collect::<Result<_>>()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(TensorLayout { kind, e, csf, tiled })
+    }
+
+    /// The layout in use.
+    pub fn kind(&self) -> LayoutKind {
+        self.kind
+    }
+
+    /// The residual entries (values in original entry order).
+    pub fn entries(&self) -> &CooTensor {
+        &self.e
+    }
+
+    /// Residual values in entry order.
+    pub fn values(&self) -> &[f64] {
+        self.e.values()
+    }
+
+    /// Stored entry count.
+    pub fn nnz(&self) -> usize {
+        self.e.nnz()
+    }
+
+    /// `‖E‖²_F` — the flat entry-order fold, identical for every layout.
+    pub fn frob_norm_sq(&self) -> f64 {
+        self.e.frob_norm_sq()
+    }
+
+    /// Split back into the entry list and the reusable acceleration
+    /// structure (for the residual hand-off).
+    pub fn into_parts(self) -> (CooTensor, LayoutAccel) {
+        (self.e, LayoutAccel { csf: self.csf, tiled: self.tiled })
+    }
+
+    /// Build the per-mode sweep workspace this layout's kernels need:
+    /// blocked MTTKRP buckets for COO (over the Algorithm-2
+    /// `boundaries`), per-mode tile partitions for tiled (sized to
+    /// [`Executor::parallelism`]), nothing for CSF (its trees *are* the
+    /// workspace).
+    pub fn workspace(
+        &self,
+        rank: usize,
+        boundaries: &[Vec<usize>],
+        exec: &Executor,
+    ) -> Result<LayoutWorkspace> {
+        let n_modes = self.e.order();
+        match self.kind {
+            LayoutKind::Coo => {
+                let mtt = (0..n_modes)
+                    .map(|n| MttkrpWorkspace::new(&self.e, n, &boundaries[n], rank))
+                    .collect::<Result<_>>()?;
+                Ok(LayoutWorkspace { mtt, tiled: Vec::new() })
+            }
+            LayoutKind::Csf => Ok(LayoutWorkspace { mtt: Vec::new(), tiled: Vec::new() }),
+            LayoutKind::Tiled => {
+                let tiled = self
+                    .tiled
+                    .iter()
+                    .map(|tm| TiledModeWs::new(tm, rank, exec.parallelism()))
+                    .collect();
+                Ok(LayoutWorkspace { mtt: Vec::new(), tiled })
+            }
+        }
+    }
+
+    /// Mode-`mode` MTTKRP of the residual against `factors`, written
+    /// into `h`. One entry sweep; allocation-free in steady state.
+    pub fn mttkrp_into(
+        &self,
+        factors: &[Mat],
+        mode: usize,
+        lw: &mut LayoutWorkspace,
+        exec: &Executor,
+        h: &mut Mat,
+    ) -> Result<()> {
+        match self.kind {
+            LayoutKind::Coo => {
+                crate::mttkrp::mttkrp_blocked_into(&self.e, factors, &mut lw.mtt[mode], exec, h)
+            }
+            LayoutKind::Csf => self.csf[mode].mttkrp_root_into(factors, h),
+            LayoutKind::Tiled => self.tiled_mttkrp(factors, mode, lw, exec, h),
+        }
+    }
+
+    /// Refresh the residual values to `Ω∗(T − [[model…]])` (no MTTKRP),
+    /// keeping any value-carrying acceleration structure in sync.
+    pub fn refresh_values(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        ws: &mut ResidualWorkspace,
+        exec: &Executor,
+    ) -> Result<()> {
+        residual_refresh_exec(observed, model, &mut self.e, ws, exec)?;
+        for c in self.csf.iter_mut() {
+            c.set_values(&self.e)?;
+        }
+        Ok(())
+    }
+
+    /// Fused residual refresh + mode-0 MTTKRP: refreshes the residual
+    /// values in place, overwrites `h` with `E₍₀₎U⁽⁰⁾` against the fresh
+    /// values, and returns `‖E‖²_F` — one entry sweep total, bit-wise
+    /// the numbers of [`Self::refresh_values`] + [`Self::mttkrp_into`]
+    /// for COO/tiled (CSF to rounding).
+    pub fn fused_refresh_into(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        lw: &mut LayoutWorkspace,
+        exec: &Executor,
+        h: &mut Mat,
+    ) -> Result<f64> {
+        match self.kind {
+            LayoutKind::Coo => crate::fused::fused_mttkrp_refresh_into(
+                observed,
+                model,
+                &mut lw.mtt[0],
+                exec,
+                &mut self.e,
+                h,
+            ),
+            LayoutKind::Csf => {
+                let (first, rest) = self.csf.split_at_mut(1);
+                let frob =
+                    first[0].fused_mttkrp_refresh_root_into(observed, model, &mut self.e, h)?;
+                for c in rest {
+                    c.set_values(&self.e)?;
+                }
+                Ok(frob)
+            }
+            LayoutKind::Tiled => self.tiled_fused(observed, model, lw, exec, h),
+        }
+    }
+
+    /// The tiled blocked MTTKRP: per-part tile-range sweeps into row
+    /// slabs, stitched in fixed part order. Values are gathered through
+    /// the tile permutation; per-row accumulation order is the original
+    /// entry order (see module docs), so the result is bit-identical to
+    /// the COO kernels.
+    fn tiled_mttkrp(
+        &self,
+        factors: &[Mat],
+        mode: usize,
+        lw: &mut LayoutWorkspace,
+        exec: &Executor,
+        h: &mut Mat,
+    ) -> Result<()> {
+        validate(&self.e, factors, mode)?;
+        let r = factors[0].cols();
+        let dim = self.e.shape()[mode];
+        if h.shape() != (dim, r) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "mttkrp output is {:?}, want ({dim}, {r})",
+                h.shape()
+            )));
+        }
+        let ws = &mut lw.tiled[mode];
+        if ws.parts.first().is_some_and(|p| p.scratch.len() != 4 * r) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "tiled workspace is rank {}, factors are rank {r}",
+                ws.parts[0].scratch.len() / 4
+            )));
+        }
+        crate::record_entry_sweep(self.e.nnz());
+        let tm = &self.tiled[mode];
+        debug_assert_eq!(tm.nnz, self.e.nnz(), "tiled order built for a different support");
+        let vals = self.e.values();
+        exec.run_mut(&mut ws.parts, |_, part| {
+            dispatch_rank(r, TiledSweep { vals, tm, factors, mode, part });
+        });
+        for part in &ws.parts {
+            h.as_mut_slice()[part.row_lo * r..(part.row_lo + part.slab.rows()) * r]
+                .copy_from_slice(part.slab.as_slice());
+        }
+        Ok(())
+    }
+
+    /// The tiled fused sweep (mode 0): fresh values are computed in tile
+    /// order into per-part carriers, scattered back to entry order, and
+    /// `‖E‖²` is folded flat afterwards — every chain identical to the
+    /// COO fused kernel's.
+    fn tiled_fused(
+        &mut self,
+        observed: &CooTensor,
+        model: &KruskalTensor,
+        lw: &mut LayoutWorkspace,
+        exec: &Executor,
+        h: &mut Mat,
+    ) -> Result<f64> {
+        let factors = model.factors();
+        validate(observed, factors, 0)?;
+        let r = model.rank();
+        let TensorLayout { e, tiled, .. } = self;
+        if e.nnz() != observed.nnz() || e.shape() != observed.shape() {
+            return Err(TensorError::ShapeMismatch(
+                "fused refresh requires a residual sharing the observed support".into(),
+            ));
+        }
+        let dim = observed.shape()[0];
+        if h.shape() != (dim, r) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "fused mttkrp output is {:?}, want ({dim}, {r})",
+                h.shape()
+            )));
+        }
+        let ws = &mut lw.tiled[0];
+        if ws.parts.first().is_some_and(|p| p.scratch.len() != 4 * r) {
+            return Err(TensorError::ShapeMismatch(format!(
+                "tiled workspace is rank {}, model is rank {r}",
+                ws.parts[0].scratch.len() / 4
+            )));
+        }
+        crate::record_entry_sweep(observed.nnz());
+        let tm = &tiled[0];
+        debug_assert_eq!(tm.nnz, observed.nnz(), "tiled order built for a different support");
+        let TiledModeWs { parts, tvals } = ws;
+        // Observed values in tile order, gathered once per workspace
+        // (the support — and hence the order — is fixed within a solve).
+        if tvals.len() != observed.nnz() {
+            tvals.clear();
+            tvals.extend(tm.perm.iter().map(|&pos| observed.value(pos)));
+        }
+        for part in parts.iter_mut() {
+            if part.vals.len() != part.jhi - part.jlo {
+                part.vals.resize(part.jhi - part.jlo, 0.0);
+            }
+        }
+        let tv: &[f64] = tvals;
+        exec.run_mut(parts, |_, part| {
+            dispatch_rank(r, TiledFused { tvals: tv, tm, factors, mode: 0, part });
+        });
+        let evals = e.values_mut();
+        for part in parts.iter() {
+            for (off, &v) in part.vals.iter().enumerate() {
+                evals[tm.perm[part.jlo + off]] = v;
+            }
+        }
+        for part in parts.iter() {
+            h.as_mut_slice()[part.row_lo * r..(part.row_lo + part.slab.rows()) * r]
+                .copy_from_slice(part.slab.as_slice());
+        }
+        Ok(e.values().iter().map(|v| v * v).sum())
+    }
+}
+
+/// Per-solve sweep state for a [`TensorLayout`]'s kernels: COO keeps one
+/// blocked [`MttkrpWorkspace`] per mode, tiled one partitioned tile
+/// workspace per mode. Steady-state kernel calls allocate nothing (the
+/// fused value carriers are sized on first use, amortized).
+pub struct LayoutWorkspace {
+    mtt: Vec<MttkrpWorkspace>,
+    tiled: Vec<TiledModeWs>,
+}
+
+/// One mode's tiled sweep workspace: contiguous tile ranges partitioned
+/// across the executor's parallelism, each with its own output-row slab
+/// and 4-lane scratch.
+struct TiledModeWs {
+    parts: Vec<TiledPart>,
+    /// Observed values in tile order (fused sweep only; filled on first
+    /// use).
+    tvals: Vec<f64>,
+}
+
+struct TiledPart {
+    /// Tile-order entry range `jlo..jhi`.
+    jlo: usize,
+    jhi: usize,
+    /// First output row owned by this part.
+    row_lo: usize,
+    slab: Mat,
+    /// Four rank-length scratch lanes for the dynamic-rank bodies.
+    scratch: Vec<f64>,
+    /// Fresh residual values in tile order (fused sweep; sized on first
+    /// use).
+    vals: Vec<f64>,
+}
+
+impl TiledModeWs {
+    fn new(tm: &TiledMode, rank: usize, max_parts: usize) -> Self {
+        let parts = partition_tiles(&tm.tile_ptr, max_parts)
+            .into_iter()
+            .map(|(t0, t1)| {
+                let row_lo = t0 * TILE_ROWS;
+                let row_hi = (t1 * TILE_ROWS).min(tm.dim);
+                TiledPart {
+                    jlo: tm.tile_ptr[t0],
+                    jhi: tm.tile_ptr[t1],
+                    row_lo,
+                    slab: Mat::zeros(row_hi - row_lo, rank),
+                    scratch: vec![0.0; 4 * rank],
+                    vals: Vec::new(),
+                }
+            })
+            .collect();
+        TiledModeWs { parts, tvals: Vec::new() }
+    }
+}
+
+/// Split `0..n_tiles` into at most `max_parts` contiguous,
+/// entries-balanced ranges (cuts at the tile boundaries nearest the
+/// uniform cumulative-entry targets). The partitioning — like the COO
+/// boundaries — is bit-invisible: per-row accumulation order does not
+/// depend on it.
+fn partition_tiles(tile_ptr: &[usize], max_parts: usize) -> Vec<(usize, usize)> {
+    let n_tiles = tile_ptr.len() - 1;
+    let nnz = *tile_ptr.last().unwrap_or(&0);
+    let parts = max_parts.max(1).min(n_tiles.max(1));
+    if parts <= 1 || n_tiles <= 1 {
+        return vec![(0, n_tiles)];
+    }
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0usize);
+    for p in 1..parts {
+        let target = p * nnz / parts;
+        let t = tile_ptr
+            .partition_point(|&c| c < target)
+            .max(cuts[p - 1] + 1)
+            .min(n_tiles - (parts - p));
+        cuts.push(t);
+    }
+    cuts.push(n_tiles);
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// 4-way-unrolled elementwise multiply: `s[i] *= row[i]`. Lanes are
+/// independent, so regrouping them is bit-invisible; the explicit unroll
+/// autovectorizes.
+#[inline(always)]
+fn mul_lanes(s: &mut [f64], row: &[f64]) {
+    let mut sc = s.chunks_exact_mut(4);
+    let mut rc = row.chunks_exact(4);
+    for (sv, rv) in (&mut sc).zip(&mut rc) {
+        sv[0] *= rv[0];
+        sv[1] *= rv[1];
+        sv[2] *= rv[2];
+        sv[3] *= rv[3];
+    }
+    for (v, &a) in sc.into_remainder().iter_mut().zip(rc.remainder()) {
+        *v *= a;
+    }
+}
+
+/// 4-way-unrolled elementwise add: `out[i] += s[i]`.
+#[inline(always)]
+fn add_lanes(out: &mut [f64], s: &[f64]) {
+    let mut oc = out.chunks_exact_mut(4);
+    let mut sc = s.chunks_exact(4);
+    for (ov, sv) in (&mut oc).zip(&mut sc) {
+        ov[0] += sv[0];
+        ov[1] += sv[1];
+        ov[2] += sv[2];
+        ov[3] += sv[3];
+    }
+    for (o, &a) in oc.into_remainder().iter_mut().zip(sc.remainder()) {
+        *o += a;
+    }
+}
+
+/// The tiled MTTKRP sweep over one part's tile range, 4 entries per
+/// step with independent scratch lanes. Per-entry operation sequence —
+/// broadcast, ascending non-`mode` Hadamard, row add — matches the COO
+/// kernel exactly; slab rows are committed in entry order `e0..e3`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tiled_mttkrp_sweep(
+    vals: &[f64],
+    tm: &TiledMode,
+    factors: &[Mat],
+    mode: usize,
+    jlo: usize,
+    jhi: usize,
+    row_lo: usize,
+    slab: &mut Mat,
+    s0: &mut [f64],
+    s1: &mut [f64],
+    s2: &mut [f64],
+    s3: &mut [f64],
+) {
+    let order = factors.len();
+    let (idx, perm) = (&tm.idx[..], &tm.perm[..]);
+    slab.fill(0.0);
+    let mut j = jlo;
+    // Interleave width: 4 independent lanes up to rank 8, 2 beyond —
+    // 4×R live accumulators overflow the register file past R≈8 and the
+    // spills cost more than the lost ILP. Width is bit-invisible: every
+    // entry's product chain and its slab commit happen in entry order no
+    // matter how many neighbors fly alongside it.
+    if s0.len() <= 8 {
+        while j + 4 <= jhi {
+            let i0 = &idx[j * order..(j + 1) * order];
+            let i1 = &idx[(j + 1) * order..(j + 2) * order];
+            let i2 = &idx[(j + 2) * order..(j + 3) * order];
+            let i3 = &idx[(j + 3) * order..(j + 4) * order];
+            s0.fill(vals[perm[j]]);
+            s1.fill(vals[perm[j + 1]]);
+            s2.fill(vals[perm[j + 2]]);
+            s3.fill(vals[perm[j + 3]]);
+            for (k, f) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                mul_lanes(s0, f.row(i0[k] as usize));
+                mul_lanes(s1, f.row(i1[k] as usize));
+                mul_lanes(s2, f.row(i2[k] as usize));
+                mul_lanes(s3, f.row(i3[k] as usize));
+            }
+            add_lanes(slab.row_mut(i0[mode] as usize - row_lo), s0);
+            add_lanes(slab.row_mut(i1[mode] as usize - row_lo), s1);
+            add_lanes(slab.row_mut(i2[mode] as usize - row_lo), s2);
+            add_lanes(slab.row_mut(i3[mode] as usize - row_lo), s3);
+            j += 4;
+        }
+    } else {
+        while j + 2 <= jhi {
+            let i0 = &idx[j * order..(j + 1) * order];
+            let i1 = &idx[(j + 1) * order..(j + 2) * order];
+            s0.fill(vals[perm[j]]);
+            s1.fill(vals[perm[j + 1]]);
+            for (k, f) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                mul_lanes(s0, f.row(i0[k] as usize));
+                mul_lanes(s1, f.row(i1[k] as usize));
+            }
+            add_lanes(slab.row_mut(i0[mode] as usize - row_lo), s0);
+            add_lanes(slab.row_mut(i1[mode] as usize - row_lo), s1);
+            j += 2;
+        }
+    }
+    while j < jhi {
+        let ii = &idx[j * order..(j + 1) * order];
+        s0.fill(vals[perm[j]]);
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            mul_lanes(s0, f.row(ii[k] as usize));
+        }
+        add_lanes(slab.row_mut(ii[mode] as usize - row_lo), s0);
+        j += 1;
+    }
+}
+
+/// The tiled fused sweep over one part's tile range: the restructured
+/// eval fold (per-lane products over ascending modes, then one scalar
+/// sum over ascending `r` — chains identical to the `r`-outer fold),
+/// with 4 independent accumulator chains per step, then the standard
+/// MTTKRP contribution from the fresh value. Fresh values land in
+/// `out_vals` (tile order).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tiled_fused_sweep(
+    tvals: &[f64],
+    tm: &TiledMode,
+    factors: &[Mat],
+    mode: usize,
+    jlo: usize,
+    jhi: usize,
+    row_lo: usize,
+    slab: &mut Mat,
+    out_vals: &mut [f64],
+    s0: &mut [f64],
+    s1: &mut [f64],
+    s2: &mut [f64],
+    s3: &mut [f64],
+) {
+    let order = factors.len();
+    let r = s0.len();
+    let idx = &tm.idx[..];
+    slab.fill(0.0);
+    let mut j = jlo;
+    // Same rank-dependent interleave width as the plain sweep (see the
+    // register-pressure note there); chains are entry-local either way.
+    if r <= 8 {
+        while j + 4 <= jhi {
+            let i0 = &idx[j * order..(j + 1) * order];
+            let i1 = &idx[(j + 1) * order..(j + 2) * order];
+            let i2 = &idx[(j + 2) * order..(j + 3) * order];
+            let i3 = &idx[(j + 3) * order..(j + 4) * order];
+            s0.fill(1.0);
+            s1.fill(1.0);
+            s2.fill(1.0);
+            s3.fill(1.0);
+            for (k, f) in factors.iter().enumerate() {
+                mul_lanes(s0, f.row(i0[k] as usize));
+                mul_lanes(s1, f.row(i1[k] as usize));
+                mul_lanes(s2, f.row(i2[k] as usize));
+                mul_lanes(s3, f.row(i3[k] as usize));
+            }
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for rr in 0..r {
+                a0 += s0[rr];
+                a1 += s1[rr];
+                a2 += s2[rr];
+                a3 += s3[rr];
+            }
+            let v0 = tvals[j] - a0;
+            let v1 = tvals[j + 1] - a1;
+            let v2 = tvals[j + 2] - a2;
+            let v3 = tvals[j + 3] - a3;
+            out_vals[j - jlo] = v0;
+            out_vals[j + 1 - jlo] = v1;
+            out_vals[j + 2 - jlo] = v2;
+            out_vals[j + 3 - jlo] = v3;
+            s0.fill(v0);
+            s1.fill(v1);
+            s2.fill(v2);
+            s3.fill(v3);
+            for (k, f) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                mul_lanes(s0, f.row(i0[k] as usize));
+                mul_lanes(s1, f.row(i1[k] as usize));
+                mul_lanes(s2, f.row(i2[k] as usize));
+                mul_lanes(s3, f.row(i3[k] as usize));
+            }
+            add_lanes(slab.row_mut(i0[mode] as usize - row_lo), s0);
+            add_lanes(slab.row_mut(i1[mode] as usize - row_lo), s1);
+            add_lanes(slab.row_mut(i2[mode] as usize - row_lo), s2);
+            add_lanes(slab.row_mut(i3[mode] as usize - row_lo), s3);
+            j += 4;
+        }
+    } else {
+        while j + 2 <= jhi {
+            let i0 = &idx[j * order..(j + 1) * order];
+            let i1 = &idx[(j + 1) * order..(j + 2) * order];
+            s0.fill(1.0);
+            s1.fill(1.0);
+            for (k, f) in factors.iter().enumerate() {
+                mul_lanes(s0, f.row(i0[k] as usize));
+                mul_lanes(s1, f.row(i1[k] as usize));
+            }
+            let (mut a0, mut a1) = (0.0f64, 0.0f64);
+            for rr in 0..r {
+                a0 += s0[rr];
+                a1 += s1[rr];
+            }
+            let v0 = tvals[j] - a0;
+            let v1 = tvals[j + 1] - a1;
+            out_vals[j - jlo] = v0;
+            out_vals[j + 1 - jlo] = v1;
+            s0.fill(v0);
+            s1.fill(v1);
+            for (k, f) in factors.iter().enumerate() {
+                if k == mode {
+                    continue;
+                }
+                mul_lanes(s0, f.row(i0[k] as usize));
+                mul_lanes(s1, f.row(i1[k] as usize));
+            }
+            add_lanes(slab.row_mut(i0[mode] as usize - row_lo), s0);
+            add_lanes(slab.row_mut(i1[mode] as usize - row_lo), s1);
+            j += 2;
+        }
+    }
+    while j < jhi {
+        let ii = &idx[j * order..(j + 1) * order];
+        s0.fill(1.0);
+        for (k, f) in factors.iter().enumerate() {
+            mul_lanes(s0, f.row(ii[k] as usize));
+        }
+        let mut a = 0.0f64;
+        for &x in s0.iter() {
+            a += x;
+        }
+        let v = tvals[j] - a;
+        out_vals[j - jlo] = v;
+        s0.fill(v);
+        for (k, f) in factors.iter().enumerate() {
+            if k == mode {
+                continue;
+            }
+            mul_lanes(s0, f.row(ii[k] as usize));
+        }
+        add_lanes(slab.row_mut(ii[mode] as usize - row_lo), s0);
+        j += 1;
+    }
+}
+
+/// [`RankKernel`] adapter for one part of the tiled MTTKRP.
+struct TiledSweep<'a> {
+    vals: &'a [f64],
+    tm: &'a TiledMode,
+    factors: &'a [Mat],
+    mode: usize,
+    part: &'a mut TiledPart,
+}
+
+impl RankKernel for TiledSweep<'_> {
+    type Out = ();
+
+    fn run_const<const R: usize>(self) {
+        debug_assert_eq!(self.part.scratch.len(), 4 * R);
+        let mut s = [[0.0f64; R]; 4];
+        let [s0, s1, s2, s3] = &mut s;
+        tiled_mttkrp_sweep(
+            self.vals,
+            self.tm,
+            self.factors,
+            self.mode,
+            self.part.jlo,
+            self.part.jhi,
+            self.part.row_lo,
+            &mut self.part.slab,
+            s0,
+            s1,
+            s2,
+            s3,
+        );
+    }
+
+    fn run_dyn(self) {
+        let TiledPart { jlo, jhi, row_lo, slab, scratch, .. } = self.part;
+        let r = scratch.len() / 4;
+        let (s0, rest) = scratch.split_at_mut(r);
+        let (s1, rest) = rest.split_at_mut(r);
+        let (s2, s3) = rest.split_at_mut(r);
+        tiled_mttkrp_sweep(
+            self.vals, self.tm, self.factors, self.mode, *jlo, *jhi, *row_lo, slab, s0, s1,
+            s2, s3,
+        );
+    }
+}
+
+/// [`RankKernel`] adapter for one part of the tiled fused sweep.
+struct TiledFused<'a> {
+    tvals: &'a [f64],
+    tm: &'a TiledMode,
+    factors: &'a [Mat],
+    mode: usize,
+    part: &'a mut TiledPart,
+}
+
+impl RankKernel for TiledFused<'_> {
+    type Out = ();
+
+    fn run_const<const R: usize>(self) {
+        let TiledPart { jlo, jhi, row_lo, slab, vals, scratch } = self.part;
+        debug_assert_eq!(scratch.len(), 4 * R);
+        let mut s = [[0.0f64; R]; 4];
+        let [s0, s1, s2, s3] = &mut s;
+        tiled_fused_sweep(
+            self.tvals,
+            self.tm,
+            self.factors,
+            self.mode,
+            *jlo,
+            *jhi,
+            *row_lo,
+            slab,
+            vals,
+            s0,
+            s1,
+            s2,
+            s3,
+        );
+    }
+
+    fn run_dyn(self) {
+        let TiledPart { jlo, jhi, row_lo, slab, vals, scratch } = self.part;
+        let r = scratch.len() / 4;
+        let (s0, rest) = scratch.split_at_mut(r);
+        let (s1, rest) = rest.split_at_mut(r);
+        let (s2, s3) = rest.split_at_mut(r);
+        tiled_fused_sweep(
+            self.tvals,
+            self.tm,
+            self.factors,
+            self.mode,
+            *jlo,
+            *jhi,
+            *row_lo,
+            slab,
+            vals,
+            s0,
+            s1,
+            s2,
+            s3,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mttkrp::mttkrp;
+    use crate::residual::residual;
+    use distenc_dataflow::{ExecMode, Executor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_coo(shape: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = CooTensor::new(shape.to_vec());
+        for _ in 0..nnz {
+            let idx: Vec<usize> = shape.iter().map(|&d| rng.random_range(0..d)).collect();
+            t.push(&idx, rng.random::<f64>() * 2.0 - 1.0).unwrap();
+        }
+        t.sort_dedup();
+        t
+    }
+
+    #[test]
+    fn layout_kind_parses_and_rejects() {
+        assert_eq!(LayoutKind::parse("coo").unwrap(), LayoutKind::Coo);
+        assert_eq!(LayoutKind::parse(" CSF ").unwrap(), LayoutKind::Csf);
+        assert_eq!(LayoutKind::parse("Tiled").unwrap(), LayoutKind::Tiled);
+        assert_eq!(
+            LayoutKind::parse("hilbert"),
+            Err(TensorError::InvalidLayout("hilbert".into()))
+        );
+        for k in [LayoutKind::Coo, LayoutKind::Csf, LayoutKind::Tiled] {
+            assert_eq!(LayoutKind::parse(&k.to_string()).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn layout_env_round_trips_and_rejects() {
+        // The only test in this binary that touches DISTENC_LAYOUT; no
+        // other tensor-crate test reads it, so set/remove is race-free.
+        std::env::remove_var(LAYOUT_ENV);
+        assert_eq!(LayoutKind::from_env().unwrap(), None);
+        std::env::set_var(LAYOUT_ENV, "tiled");
+        assert_eq!(LayoutKind::from_env().unwrap(), Some(LayoutKind::Tiled));
+        std::env::set_var(LAYOUT_ENV, "zorder");
+        assert_eq!(
+            LayoutKind::from_env(),
+            Err(TensorError::InvalidLayout("zorder".into()))
+        );
+        std::env::remove_var(LAYOUT_ENV);
+    }
+
+    #[test]
+    fn partition_tiles_covers_and_bounds() {
+        let tile_ptr = vec![0usize, 4, 4, 9, 11, 20, 21, 30];
+        for max_parts in 1..10 {
+            let parts = partition_tiles(&tile_ptr, max_parts);
+            assert!(parts.len() <= max_parts.max(1));
+            assert_eq!(parts.first().unwrap().0, 0);
+            assert_eq!(parts.last().unwrap().1, 7);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+            for &(a, b) in &parts {
+                assert!(a < b);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_mttkrp_is_bit_identical_to_sequential() {
+        let shape = [45, 23, 17];
+        let x = random_coo(&shape, 400, 4);
+        let seq = Executor::new(ExecMode::Sequential);
+        let par = Executor::new(ExecMode::Threads(3));
+        for &rank in &[1usize, 3, 8, 16, 17] {
+            let k = KruskalTensor::random(&shape, rank, 5 + rank as u64);
+            let layout = TensorLayout::build(x.clone(), LayoutKind::Tiled).unwrap();
+            for exec in [&seq, &par] {
+                let mut lw = layout.workspace(rank, &[], exec).unwrap();
+                for (mode, &dim) in shape.iter().enumerate() {
+                    let want = mttkrp(&x, k.factors(), mode).unwrap();
+                    let mut h = Mat::random(dim, rank, 9); // dirty on purpose
+                    // Twice through one workspace: reuse must be clean.
+                    for _ in 0..2 {
+                        layout.mttkrp_into(k.factors(), mode, &mut lw, exec, &mut h).unwrap();
+                        assert_eq!(h.as_slice(), want.as_slice(), "rank {rank} mode {mode}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_fused_is_bit_identical_to_unfused_sequence() {
+        let shape = [45, 23, 17];
+        let x = random_coo(&shape, 400, 7);
+        let seq = Executor::new(ExecMode::Sequential);
+        let par = Executor::new(ExecMode::Threads(3));
+        for &rank in &[1usize, 3, 8, 16, 17] {
+            let model = KruskalTensor::random(&shape, rank, 11 + rank as u64);
+            let we = residual(&x, &model).unwrap();
+            let wh = mttkrp(&we, model.factors(), 0).unwrap();
+            let wf = we.frob_norm_sq();
+            for exec in [&seq, &par] {
+                let mut layout = TensorLayout::build(x.clone(), LayoutKind::Tiled).unwrap();
+                let mut lw = layout.workspace(rank, &[], exec).unwrap();
+                let mut h = Mat::random(shape[0], rank, 13); // dirty on purpose
+                for _ in 0..2 {
+                    let f = layout
+                        .fused_refresh_into(&x, &model, &mut lw, exec, &mut h)
+                        .unwrap();
+                    assert_eq!(layout.entries(), &we, "rank {rank}");
+                    assert_eq!(h.as_slice(), wh.as_slice(), "rank {rank}");
+                    assert_eq!(f.to_bits(), wf.to_bits(), "rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coo_and_csf_layouts_delegate_to_their_kernels() {
+        let shape = [14, 11, 9];
+        let x = random_coo(&shape, 200, 3);
+        let rank = 3;
+        let k = KruskalTensor::random(&shape, rank, 21);
+        let exec = Executor::new(ExecMode::Sequential);
+        let boundaries: Vec<Vec<usize>> = shape.iter().map(|&d| vec![d]).collect();
+        // COO layout == the sequential kernel, bitwise.
+        let coo = TensorLayout::build(x.clone(), LayoutKind::Coo).unwrap();
+        let mut lw = coo.workspace(rank, &boundaries, &exec).unwrap();
+        for (mode, &dim) in shape.iter().enumerate() {
+            let want = mttkrp(&x, k.factors(), mode).unwrap();
+            let mut h = Mat::zeros(dim, rank);
+            coo.mttkrp_into(k.factors(), mode, &mut lw, &exec, &mut h).unwrap();
+            assert_eq!(h.as_slice(), want.as_slice());
+        }
+        // CSF layout == the fiber kernel (exact reorganization: rounding
+        // only — see `csf_path_matches_coo_path_exactly`).
+        let csf = TensorLayout::build(x.clone(), LayoutKind::Csf).unwrap();
+        let mut lw = csf.workspace(rank, &boundaries, &exec).unwrap();
+        for (mode, &dim) in shape.iter().enumerate() {
+            let want = mttkrp(&x, k.factors(), mode).unwrap();
+            let mut h = Mat::zeros(dim, rank);
+            csf.mttkrp_into(k.factors(), mode, &mut lw, &exec, &mut h).unwrap();
+            for (a, b) in h.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn build_with_reuses_carried_structure() {
+        let x = random_coo(&[30, 20, 10], 250, 9);
+        for kind in [LayoutKind::Csf, LayoutKind::Tiled] {
+            let l1 = TensorLayout::build(x.clone(), kind).unwrap();
+            let (e, accel) = l1.into_parts();
+            assert!(!accel.is_empty());
+            let l2 = TensorLayout::build_with(e, kind, accel).unwrap();
+            assert_eq!(l2.kind(), kind);
+            // Reuse must not change behavior: a fused sweep matches the
+            // freshly built layout's.
+            let model = KruskalTensor::random(&[30, 20, 10], 8, 2);
+            let exec = Executor::new(ExecMode::Sequential);
+            let mut fresh = TensorLayout::build(x.clone(), kind).unwrap();
+            let mut reused = l2;
+            let mut lw_a = fresh.workspace(8, &[], &exec).unwrap();
+            let mut lw_b = reused.workspace(8, &[], &exec).unwrap();
+            let mut ha = Mat::zeros(30, 8);
+            let mut hb = Mat::zeros(30, 8);
+            let fa = fresh.fused_refresh_into(&x, &model, &mut lw_a, &exec, &mut ha).unwrap();
+            let fb = reused.fused_refresh_into(&x, &model, &mut lw_b, &exec, &mut hb).unwrap();
+            assert_eq!(fa.to_bits(), fb.to_bits());
+            assert_eq!(ha.as_slice(), hb.as_slice());
+            assert_eq!(fresh.values(), reused.values());
+        }
+        // A mismatched carry (different support) is rebuilt, not trusted.
+        let y = random_coo(&[30, 20, 10], 100, 10);
+        let (_, accel) = TensorLayout::build(x.clone(), LayoutKind::Tiled).unwrap().into_parts();
+        let rebuilt = TensorLayout::build_with(y.clone(), LayoutKind::Tiled, accel).unwrap();
+        assert_eq!(rebuilt.nnz(), y.nnz());
+    }
+
+    #[test]
+    fn tiled_rejects_dimensions_beyond_u32() {
+        let big = CooTensor::new(vec![u32::MAX as usize + 2, 2]);
+        assert!(matches!(
+            TensorLayout::build(big, LayoutKind::Tiled),
+            Err(TensorError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn refresh_values_keeps_csf_in_sync() {
+        let shape = [12, 9, 7];
+        let x = random_coo(&shape, 150, 12);
+        let model = KruskalTensor::random(&shape, 4, 3);
+        let exec = Executor::new(ExecMode::Sequential);
+        let mut ws = ResidualWorkspace::new(x.nnz(), &exec);
+        let mut layout = TensorLayout::build(x.clone(), LayoutKind::Csf).unwrap();
+        layout.refresh_values(&x, &model, &mut ws, &exec).unwrap();
+        let want = residual(&x, &model).unwrap();
+        assert_eq!(layout.entries(), &want);
+        // The CSF trees saw the fresh values: their MTTKRP must match an
+        // MTTKRP of the fresh residual.
+        let mut lw = layout.workspace(4, &[], &exec).unwrap();
+        let mut h = Mat::zeros(12, 4);
+        layout.mttkrp_into(model.factors(), 0, &mut lw, &exec, &mut h).unwrap();
+        let oracle = mttkrp(&want, model.factors(), 0).unwrap();
+        for (a, b) in h.as_slice().iter().zip(oracle.as_slice()) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -17,6 +17,9 @@
 //!   matricizations, used as small-scale oracles in tests,
 //! * [`residual`] — the sparse residual tensor `E = Ω∗(T − [[A…]])`
 //!   (Eq. 14) that keeps every iteration `O(nnz)`,
+//! * [`layout`] — the [`TensorLayout`] dispatch point that makes the
+//!   COO, CSF, and cache-blocked tiled storage layouts interchangeable
+//!   behind one surface,
 //! * [`sample`] — deterministic norm-proportional entry sampling, the
 //!   randomization behind the sketched solver tier,
 //! * [`dense`] — a tiny dense tensor for test oracles,
@@ -32,6 +35,7 @@ pub mod dense;
 pub mod fused;
 pub mod io;
 pub mod khatri_rao;
+pub mod layout;
 pub mod kruskal;
 pub mod mttkrp;
 pub mod residual;
@@ -43,6 +47,7 @@ pub use coo::CooTensor;
 pub use csf::CsfTensor;
 pub use dense::DenseTensor;
 pub use kruskal::KruskalTensor;
+pub use layout::{LayoutAccel, LayoutKind, LayoutWorkspace, TensorLayout, LAYOUT_ENV};
 
 /// One tick on the pass-count instrument per full entry-list sweep over
 /// `entries` nonzeros (see `distenc_dataflow::passes`); compiles to
@@ -76,6 +81,9 @@ pub enum TensorError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// An unknown tensor-layout name (from `--layout` or
+    /// `DISTENC_LAYOUT`); the payload is the rejected name.
+    InvalidLayout(String),
     /// Wrapped linear-algebra failure.
     Linalg(distenc_linalg::LinalgError),
 }
@@ -89,6 +97,9 @@ impl std::fmt::Display for TensorError {
             TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
             TensorError::InvalidShape { shape, reason } => {
                 write!(f, "invalid tensor shape {shape:?}: {reason}")
+            }
+            TensorError::InvalidLayout(name) => {
+                write!(f, "unknown tensor layout {name:?} (expected coo, csf, or tiled)")
             }
             TensorError::Linalg(e) => write!(f, "linalg error: {e}"),
         }

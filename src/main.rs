@@ -18,7 +18,7 @@
 //! serving benchmark go through `distenc_serve::Engine`, so scores are
 //! bit-identical to `KruskalTensor::eval` on the loaded model.
 
-use distenc::core::{AdmmConfig, AdmmSolver, Checkpoint, CheckpointPolicy};
+use distenc::core::{AdmmConfig, AdmmSolver, Checkpoint, CheckpointPolicy, LayoutKind};
 use distenc::graph::{Laplacian, SparseSym};
 use distenc::serve::{
     synth_trace, Engine, EngineConfig, QueueConfig, Request, RetryPolicy, ServeError,
@@ -75,19 +75,26 @@ USAGE:
                                        last P iterations polished exactly;
                                        DISTENC_TIER=sketched[:N[:P]] is the
                                        env equivalent)
+                   [--layout coo|csf|tiled]
+                                      (residual storage layout; coo and tiled
+                                       are bit-identical, csf matches to
+                                       rounding. Precedence: --layout, then
+                                       DISTENC_LAYOUT, then the legacy
+                                       default. Unknown names are errors)
                    [--checkpoint FILE] [--checkpoint-every N]
                                       (snapshot the solver state to FILE every
                                        N iterations, default 5; atomic,
                                        checksummed, resumable)
   distenc resume   --checkpoint FILE --input FILE --out MODEL
                    [--similarity FILE@MODE].. [--threads N]
-                   [--checkpoint-every N]
+                   [--checkpoint-every N] [--layout coo|csf|tiled]
                    (continue an interrupted `complete` from its snapshot;
                     the finished model is bit-identical to the run that was
                     never interrupted. --checkpoint-every keeps snapshotting
                     to the same FILE while resuming)
   distenc stream   --input FILE --delta FILE.. --rank R --out MODEL
                    [--iters T] [--budget-iters T] [--tol EPS] [--seed S]
+                   [--layout coo|csf|tiled]
                    (each --delta is a COO file; entries on observed cells
                     become value updates, new cells become inserts, and a
                     larger `# shape:` header grows the tensor — the model
@@ -140,6 +147,14 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 
 fn parse_list(s: &str, what: &str) -> Result<Vec<usize>, String> {
     s.split(',').map(|p| parse_num(p.trim(), what)).collect()
+}
+
+/// `--layout coo|csf|tiled`. Unknown names are errors, never fallbacks —
+/// a typo must not silently change which kernels run.
+fn parse_layout(opts: &BTreeMap<String, String>) -> Result<Option<LayoutKind>, String> {
+    opts.get("layout")
+        .map(|s| LayoutKind::parse(s).map_err(|e| e.to_string()))
+        .transpose()
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -238,6 +253,7 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
     let cfg = AdmmConfig {
         solver_tier,
         checkpoint,
+        layout: parse_layout(&opts)?,
         rank: parse_num(req(&opts, "rank")?, "rank")?,
         lambda: opts.get("lambda").map_or(Ok(0.1), |s| parse_num(s, "lambda"))?,
         alpha: opts.get("alpha").map_or(Ok(1.0), |s| parse_num(s, "alpha"))?,
@@ -334,6 +350,7 @@ fn cmd_resume(args: &[String]) -> Result<(), String> {
         },
         None => distenc_dataflow::ExecMode::default(),
     };
+    cfg.layout = parse_layout(&opts)?;
 
     let laps = parse_similarities(&opts, observed.order())?;
     let lap_refs: Vec<Option<&Laplacian>> = laps.iter().map(|l| l.as_ref()).collect();
@@ -362,6 +379,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let order = observed.order();
 
     let cfg = AdmmConfig {
+        layout: parse_layout(&opts)?,
         rank: parse_num(req(&opts, "rank")?, "rank")?,
         max_iters: opts.get("iters").map_or(Ok(60), |s| parse_num(s, "iters"))?,
         tol: opts.get("tol").map_or(Ok(1e-4), |s| parse_num(s, "tol"))?,

@@ -33,7 +33,7 @@
 
 #![cfg(feature = "pass-count")]
 
-use distenc::core::{AdmmConfig, AdmmSolver, DisTenC, SolverTier};
+use distenc::core::{AdmmConfig, AdmmSolver, DisTenC, LayoutKind, SolverTier};
 use distenc::dataflow::passes;
 use distenc::dataflow::{Cluster, ClusterConfig};
 use distenc::tensor::{CooTensor, KruskalTensor};
@@ -138,6 +138,14 @@ fn fused_iterations_sweep_the_nonzeros_one_time_fewer() {
     assert_eq!(host_sweeps_per_iter(&order3, &csf_fused), 3.0, "CSF fused");
     assert_eq!(host_sweeps_per_iter(&order3, &csf_plain), 4.0, "CSF unfused");
 
+    // --- Host solver, tiled layout. ----------------------------------
+    // Cache-blocking reorders the entry walk but must not add passes:
+    // the tiled sweep is one traversal of the (permuted) entry list.
+    let tiled_fused = AdmmConfig { layout: Some(LayoutKind::Tiled), ..fused.clone() };
+    let tiled_plain = AdmmConfig { layout: Some(LayoutKind::Tiled), ..plain.clone() };
+    assert_eq!(host_sweeps_per_iter(&order3, &tiled_fused), 3.0, "tiled fused");
+    assert_eq!(host_sweeps_per_iter(&order3, &tiled_plain), 4.0, "tiled unfused");
+
     // --- Distributed solver, block-local kernels. --------------------
     assert_eq!(distenc_sweeps_per_iter(&order3, &fused), 3.0, "distenc fused");
     assert_eq!(distenc_sweeps_per_iter(&order3, &plain), 4.0, "distenc unfused");
@@ -149,6 +157,7 @@ fn fused_iterations_sweep_the_nonzeros_one_time_fewer() {
     // entries only).
     let nnz = order3.nnz() as f64;
     assert_eq!(host_entries_per_iter(&order3, &fused), 3.0 * nnz, "exact entries");
+    assert_eq!(host_entries_per_iter(&order3, &tiled_fused), 3.0 * nnz, "tiled entries");
     let samples = order3.nnz() / 4;
     let (sk_sweeps, sk_entries) = sketched_per_iter(&order3, &base, samples, 2);
     assert_eq!(sk_sweeps, 0.0, "sketch-phase iterations do no full sweeps");
