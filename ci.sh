@@ -65,6 +65,22 @@ DISTENC_THREADS=1 cargo test -q --test fault_recovery
 echo "==> DISTENC_THREADS=4 cargo test -q --test fault_recovery"
 DISTENC_THREADS=4 cargo test -q --test fault_recovery
 
+# The serve-SLO gate: fixed-work invariants of the serving stack, never
+# wall-clock — shed accounting balances exactly (every submission is one
+# of served / typed shed / rejected, and the metrics mirror the caller's
+# counts), the approximate top-K tier holds recall@K >= 0.95 with its
+# shadow-sampling counters proven live, and a registry-backed queue under
+# concurrent hot-publishes never fails a read. The overload storm gate
+# proves the same exactly-once accounting under multi-threaded
+# past-capacity pressure plus a proptest sweep of small queue configs.
+# The serve queue sizes its workers from DISTENC_THREADS, so both
+# sweeps exercise single-worker and multi-worker draining.
+echo "==> DISTENC_THREADS=1 cargo test -q --test serve_slo --test serve_overload"
+DISTENC_THREADS=1 cargo test -q --test serve_slo --test serve_overload
+
+echo "==> DISTENC_THREADS=4 cargo test -q --test serve_slo --test serve_overload"
+DISTENC_THREADS=4 cargo test -q --test serve_slo --test serve_overload
+
 # The allocation-budget gate needs the counting global allocator, which
 # only exists behind the alloc-count feature; it runs the solver itself,
 # so it is kept out of the default feature set (and the two sweeps above).

@@ -1,6 +1,22 @@
 //! The serving front door: point, batch, and top-K queries over a
 //! [`FactorStore`], with an LRU cache for repeated top-K requests and
 //! always-on [`ServeMetrics`] accounting.
+//!
+//! Top-K serves from one of two tiers. The **exact** tier (the default)
+//! runs the full norm-bound-pruned scan and is bit-identical to
+//! [`KruskalTensor::eval`]. The **approximate** tier caps the scan at a
+//! fixed candidate budget — because candidates arrive in norm-descending
+//! order, the budgeted prefix is exactly the set of rows the
+//! Cauchy–Schwarz bound allows to score high, so recall degrades
+//! gracefully and every *returned* score is still bit-exact. Recall@K is
+//! *measured*, not assumed: an opt-in shadow sampler re-runs every Nth
+//! approximate query through the exact scan and folds the overlap into
+//! [`ServeMetrics`].
+//!
+//! Cache entries are keyed by `(generation, mode, k, approx tag, fixed
+//! indices)`, so a cache shared across hot-swapped model generations (see
+//! [`crate::LiveEngine`]) can never serve a result computed by a
+//! different model than the one the query pinned.
 
 use crate::cache::LruCache;
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
@@ -11,10 +27,26 @@ use distenc_tensor::KruskalTensor;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Cache key for a top-K query: `(mode, k, fixed indices sans the free
-/// slot)` — two queries that differ only in the ignored free-mode
-/// placeholder share an entry.
-type TopKKey = (usize, usize, Vec<usize>);
+/// Cache key for a top-K query: `(generation, mode, k, approx tag, fixed
+/// indices sans the free slot)`. Two queries that differ only in the
+/// ignored free-mode placeholder share an entry; exact and approximate
+/// results never collide (the tag is the scan cap, 0 for exact); entries
+/// from different model generations never collide.
+pub(crate) type TopKKey = (u64, usize, usize, u64, Vec<usize>);
+
+/// A top-K cache shareable across model generations.
+pub(crate) type SharedTopKCache = Arc<Mutex<LruCache<TopKKey, TopKResult>>>;
+
+/// How the approximate top-K tier picks its per-mode scan cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ApproxTopK {
+    /// Scan at most this many candidates, whatever the mode's length.
+    ScanLimit(usize),
+    /// Scan the smallest norm-descending prefix carrying this fraction
+    /// (in `(0, 1]`) of the mode's total row-norm mass — resolved to a
+    /// concrete per-mode cap at engine build time.
+    NormCoverage(f64),
+}
 
 /// Tunables for [`Engine`].
 #[derive(Debug, Clone)]
@@ -25,11 +57,24 @@ pub struct EngineConfig {
     pub topk_cache: usize,
     /// How many candidates a top-K scan scores between deadline checks.
     pub deadline_check_every: usize,
+    /// Default top-K tier: `None` (the default) serves every [`Engine::topk`]
+    /// exactly; `Some` routes them through the approximate tier.
+    /// Per-request selection via [`Engine::topk_approx`] works either way.
+    pub approx_topk: Option<ApproxTopK>,
+    /// Shadow-check every Nth approximate query against the exact scan to
+    /// measure recall@K (0, the default, disables sampling).
+    pub recall_check_every: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { shard_rows: 4096, topk_cache: 1024, deadline_check_every: 128 }
+        EngineConfig {
+            shard_rows: 4096,
+            topk_cache: 1024,
+            deadline_check_every: 128,
+            approx_topk: None,
+            recall_check_every: 0,
+        }
     }
 }
 
@@ -40,10 +85,17 @@ impl Default for EngineConfig {
 #[derive(Debug)]
 pub struct Engine {
     store: FactorStore,
-    cache: Mutex<LruCache<TopKKey, TopKResult>>,
+    cache: SharedTopKCache,
     metrics: Arc<ServeMetrics>,
     cache_capacity: usize,
     check_every: usize,
+    /// Generation tag baked into cache keys (0 for a standalone engine;
+    /// set by [`crate::LiveEngine`] before the engine is shared).
+    generation: u64,
+    /// Per-mode scan caps of the default approximate tier, resolved from
+    /// `EngineConfig::approx_topk` at build time (`None` = exact default).
+    approx_limits: Option<Vec<usize>>,
+    recall_check_every: usize,
 }
 
 impl Engine {
@@ -61,18 +113,63 @@ impl Engine {
         cfg: EngineConfig,
         metrics: Arc<ServeMetrics>,
     ) -> Result<Self> {
+        let capacity = cfg.topk_cache;
+        Engine::with_shared_cache(model, cfg, metrics, Arc::new(Mutex::new(LruCache::new(capacity))))
+    }
+
+    /// Like [`Engine::with_metrics`], but caching into an existing shared
+    /// top-K cache. [`crate::LiveEngine`] uses this to keep one cache
+    /// across generations (entries are generation-keyed, so results can
+    /// never leak between models).
+    pub(crate) fn with_shared_cache(
+        model: &KruskalTensor,
+        cfg: EngineConfig,
+        metrics: Arc<ServeMetrics>,
+        cache: SharedTopKCache,
+    ) -> Result<Self> {
         if cfg.deadline_check_every == 0 {
             return Err(ServeError::BadConfig(
                 "deadline_check_every must be at least 1".into(),
             ));
         }
+        let store = FactorStore::new(model, cfg.shard_rows)?;
+        let approx_limits = match cfg.approx_topk {
+            None => None,
+            Some(ApproxTopK::ScanLimit(n)) => {
+                if n == 0 {
+                    return Err(ServeError::BadConfig(
+                        "approx scan limit must be at least 1".into(),
+                    ));
+                }
+                Some(vec![n; store.order()])
+            }
+            Some(ApproxTopK::NormCoverage(c)) => {
+                if !(c > 0.0 && c <= 1.0) {
+                    return Err(ServeError::BadConfig(format!(
+                        "norm coverage must be in (0, 1], got {c}"
+                    )));
+                }
+                Some((0..store.order()).map(|m| store.scan_limit_for_coverage(m, c)).collect())
+            }
+        };
         Ok(Engine {
-            store: FactorStore::new(model, cfg.shard_rows)?,
-            cache: Mutex::new(LruCache::new(cfg.topk_cache)),
+            store,
+            cache,
             metrics,
             cache_capacity: cfg.topk_cache,
             check_every: cfg.deadline_check_every,
+            generation: 0,
+            approx_limits,
+            recall_check_every: cfg.recall_check_every,
         })
+    }
+
+    /// Tag this engine's cache keys with a model generation. Must be
+    /// called before the engine is shared (it takes `&mut self`), which
+    /// is exactly when [`crate::LiveEngine`] calls it — after a fallible
+    /// build succeeds, before the swap publishes the engine.
+    pub(crate) fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// The underlying sharded factor store.
@@ -210,24 +307,61 @@ impl Engine {
         Ok(out)
     }
 
-    /// The best `k` indices along the query's free mode, exact unless the
-    /// optional `budget` expires mid-scan (then `degraded` is set and the
-    /// items are the best-so-far). Non-degraded results are cached.
+    /// The best `k` indices along the query's free mode, served by the
+    /// engine's default tier: exact unless `EngineConfig::approx_topk`
+    /// routed the engine to the approximate tier. Exact results are exact
+    /// unless the optional `budget` expires mid-scan (then `degraded` is
+    /// set and the items are the best-so-far). Non-degraded results are
+    /// cached.
     pub fn topk(&self, query: &TopKQuery, budget: Option<Duration>) -> Result<TopKResult> {
+        let limit = self
+            .approx_limits
+            .as_ref()
+            .and_then(|l| l.get(query.mode).copied());
+        self.topk_inner(query, budget, limit)
+    }
+
+    /// Approximate top-K with an explicit per-request scan cap,
+    /// overriding the engine's default tier (`scan_limit` candidates at
+    /// most; must be ≥ 1). Returned scores are bit-exact; the *set* of
+    /// returned indices may miss true top-K members, flagged by
+    /// `TopKResult::approx` and measured by the shadow recall sampler.
+    pub fn topk_approx(
+        &self,
+        query: &TopKQuery,
+        budget: Option<Duration>,
+        scan_limit: usize,
+    ) -> Result<TopKResult> {
+        if scan_limit == 0 {
+            return Err(ServeError::BadQuery("approx scan limit must be at least 1".into()));
+        }
+        self.topk_inner(query, budget, Some(scan_limit))
+    }
+
+    fn topk_inner(
+        &self,
+        query: &TopKQuery,
+        budget: Option<Duration>,
+        limit: Option<usize>,
+    ) -> Result<TopKResult> {
         self.validate_topk(query)?;
         let start = Instant::now();
         self.metrics.topk();
+        let approx_count = limit.map(|_| self.metrics.approx_topk());
 
+        let fixed: Vec<usize> = query
+            .at
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != query.mode)
+            .map(|(_, &i)| i)
+            .collect();
         let key: TopKKey = (
+            self.generation,
             query.mode,
             query.k,
-            query
-                .at
-                .iter()
-                .enumerate()
-                .filter(|&(m, _)| m != query.mode)
-                .map(|(_, &i)| i)
-                .collect(),
+            limit.map_or(0, |l| l as u64),
+            fixed,
         );
         if self.cache_capacity > 0 {
             if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
@@ -240,13 +374,31 @@ impl Engine {
         }
 
         let deadline = budget.map(|b| start + b);
-        let res = topk::search(&self.store, query, deadline, self.check_every);
+        let res = topk::search(&self.store, query, deadline, self.check_every, limit);
         self.metrics.scan(res.scanned as u64, res.pruned as u64);
         if res.degraded {
             self.metrics.degraded();
             self.metrics.deadline_miss();
         } else if self.cache_capacity > 0 {
             self.cache.lock().expect("cache lock").put(key, res.clone());
+        }
+
+        // Shadow recall sampling: every Nth approximate query (counted on
+        // the miss path so a cache hit never pays for it twice) re-runs
+        // the exact scan off the books — no scan/latency metrics — and
+        // records how much of the true top-K the approximate answer found.
+        if let Some(count) = approx_count {
+            if self.recall_check_every > 0
+                && !res.degraded
+                && (count - 1) % self.recall_check_every as u64 == 0
+            {
+                let exact = topk::search(&self.store, query, None, self.check_every, None);
+                let got: std::collections::HashSet<usize> =
+                    res.items.iter().map(|it| it.index).collect();
+                let overlap =
+                    exact.items.iter().filter(|it| got.contains(&it.index)).count() as u64;
+                self.metrics.recall_sample(overlap, exact.items.len() as u64);
+            }
         }
         self.metrics.record_latency(start.elapsed());
         Ok(res)
@@ -347,5 +499,62 @@ mod tests {
             Engine::new(&model, cfg),
             Err(ServeError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    fn bad_approx_configs_rejected() {
+        let model = KruskalTensor::random(&[5, 5], 2, 0);
+        for cfg in [
+            EngineConfig { approx_topk: Some(ApproxTopK::ScanLimit(0)), ..Default::default() },
+            EngineConfig { approx_topk: Some(ApproxTopK::NormCoverage(0.0)), ..Default::default() },
+            EngineConfig { approx_topk: Some(ApproxTopK::NormCoverage(1.5)), ..Default::default() },
+        ] {
+            assert!(matches!(Engine::new(&model, cfg), Err(ServeError::BadConfig(_))));
+        }
+        let engine = Engine::new(&model, EngineConfig::default()).unwrap();
+        let q = TopKQuery { mode: 0, at: vec![0, 1], k: 2 };
+        assert!(matches!(engine.topk_approx(&q, None, 0), Err(ServeError::BadQuery(_))));
+    }
+
+    #[test]
+    fn approx_tier_is_opt_in_and_measured() {
+        let model = KruskalTensor::random(&[2000, 10, 10], 4, 23);
+        // Default config: topk stays exact, approx counters stay zero.
+        let exact_engine = Engine::new(&model, EngineConfig::default()).unwrap();
+        let q = TopKQuery { mode: 0, at: vec![0, 2, 5], k: 8 };
+        let exact = exact_engine.topk(&q, None).unwrap();
+        assert!(!exact.approx);
+        assert_eq!(exact_engine.snapshot().approx_topk_queries, 0);
+
+        // Per-request approx on the same (default) engine.
+        let capped = exact_engine.topk_approx(&q, None, 64).unwrap();
+        assert!(capped.approx);
+        assert!(capped.scanned <= 64);
+        assert_eq!(exact_engine.snapshot().approx_topk_queries, 1);
+        // Exact and approx results are cached under distinct keys.
+        assert_eq!(exact_engine.cache_entries(), 2);
+        let again = exact_engine.topk(&q, None).unwrap();
+        assert_eq!(again, exact, "default tier still serves the exact result");
+
+        // Per-tenant default tier with shadow recall on every query.
+        let cfg = EngineConfig {
+            approx_topk: Some(ApproxTopK::NormCoverage(0.95)),
+            recall_check_every: 1,
+            ..Default::default()
+        };
+        let engine = Engine::new(&model, cfg).unwrap();
+        for seed in 0..10usize {
+            let q = TopKQuery { mode: 0, at: vec![0, seed % 10, (seed * 3) % 10], k: 8 };
+            engine.topk(&q, None).unwrap();
+        }
+        let s = engine.snapshot();
+        assert_eq!(s.approx_topk_queries, 10);
+        assert_eq!(s.recall_checks, 10);
+        assert!(s.recall_possible >= 10 * 8 - 10);
+        assert!(
+            s.recall_at_k() >= 0.95,
+            "norm coverage 0.95 should keep recall high, got {}",
+            s.recall_at_k()
+        );
     }
 }

@@ -39,18 +39,22 @@ pub mod engine;
 pub mod live;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod store;
 pub mod topk;
 pub mod workload;
 
 pub use cache::LruCache;
-pub use engine::{Engine, EngineConfig};
-pub use live::{LiveEngine, Tagged};
+pub use engine::{ApproxTopK, Engine, EngineConfig};
+pub use live::{LiveEngine, Pinned, Tagged};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use queue::{QueueConfig, Request, Response, RetryPolicy, ServeQueue, Ticket};
+pub use queue::{
+    AdmissionControl, QueueConfig, Request, Response, RetryPolicy, ServeQueue, ShedReason, Ticket,
+};
+pub use registry::ModelRegistry;
 pub use store::FactorStore;
 pub use topk::{TopKItem, TopKQuery, TopKResult};
-pub use workload::{synth_trace, TraceConfig, ZipfSampler};
+pub use workload::{open_loop_trace, synth_trace, OpenLoopConfig, TimedRequest, TraceConfig, ZipfSampler};
 
 /// Errors surfaced by the serving layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +70,10 @@ pub enum ServeError {
     },
     /// The queue has shut down and no longer accepts work.
     ShuttingDown,
+    /// A tenant name is not present in the model registry.
+    UnknownTenant(String),
+    /// A tenant name is already present in the model registry.
+    AlreadyRegistered(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -77,6 +85,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "request queue full (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "serve queue is shutting down"),
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
+            ServeError::AlreadyRegistered(name) => {
+                write!(f, "tenant {name:?} is already registered")
+            }
         }
     }
 }

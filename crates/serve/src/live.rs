@@ -18,14 +18,15 @@
 //! [`ServeMetrics::publish`] counters are relaxed — they feed reporting,
 //! not the swap protocol.
 
-use crate::engine::{Engine, EngineConfig};
+use crate::cache::LruCache;
+use crate::engine::{Engine, EngineConfig, SharedTopKCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::topk::{TopKQuery, TopKResult};
 use crate::Result;
 use arc_swap::ArcSwap;
 use distenc_tensor::KruskalTensor;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A query response tagged with the model generation that produced it.
@@ -59,19 +60,32 @@ pub struct LiveEngine {
     metrics: Arc<ServeMetrics>,
     cfg: EngineConfig,
     next_generation: AtomicU64,
+    /// One top-K cache shared by every generation. Entries are keyed by
+    /// the generation that computed them, so a query pinned to an old
+    /// slot can still hit its own entries — and can never see a newer
+    /// model's. Publishing flushes all pre-publish generations.
+    cache: SharedTopKCache,
 }
 
 impl LiveEngine {
     /// Start serving `model` as generation 1.
     pub fn new(model: &KruskalTensor, cfg: EngineConfig) -> Result<Self> {
         let metrics = Arc::new(ServeMetrics::new());
-        let engine = Engine::with_metrics(model, cfg.clone(), Arc::clone(&metrics))?;
+        let cache: SharedTopKCache = Arc::new(Mutex::new(LruCache::new(cfg.topk_cache)));
+        let mut engine = Engine::with_shared_cache(
+            model,
+            cfg.clone(),
+            Arc::clone(&metrics),
+            Arc::clone(&cache),
+        )?;
+        engine.set_generation(1);
         metrics.publish(1);
         Ok(LiveEngine {
             slot: ArcSwap::new(Arc::new(GenerationSlot { engine, generation: 1 })),
             metrics,
             cfg,
             next_generation: AtomicU64::new(2),
+            cache,
         })
     }
 
@@ -79,10 +93,19 @@ impl LiveEngine {
     /// tag. Sharding happens before the swap, so the served model is
     /// stale-but-consistent during the build and the cutover itself is
     /// one atomic store. The new model may have any shape/rank (streaming
-    /// growth changes both).
+    /// growth changes both). Top-K cache entries computed by older
+    /// generations are flushed — queries already pinned to an old slot
+    /// recompute rather than repopulate, so no reader can ever observe a
+    /// stale hit after the swap.
     pub fn publish(&self, model: &KruskalTensor) -> Result<u64> {
-        let engine = match Engine::with_metrics(model, self.cfg.clone(), Arc::clone(&self.metrics))
-        {
+        // Build first, allocate the generation second: a model that fails
+        // to shard must not burn a generation number.
+        let mut engine = match Engine::with_shared_cache(
+            model,
+            self.cfg.clone(),
+            Arc::clone(&self.metrics),
+            Arc::clone(&self.cache),
+        ) {
             Ok(e) => e,
             Err(e) => {
                 // Publish-on-success only: a model the engine cannot shard
@@ -92,8 +115,14 @@ impl LiveEngine {
             }
         };
         let generation = self.next_generation.fetch_add(1, Ordering::SeqCst);
+        engine.set_generation(generation);
         self.slot.store(Arc::new(GenerationSlot { engine, generation }));
         self.metrics.publish(generation);
+        // Flush every pre-publish entry. Readers pinned to an old slot
+        // race this benignly: an old-generation entry they re-insert
+        // afterwards is still keyed by *their* generation, so new-model
+        // queries (keyed by `generation`) can never hit it.
+        self.cache.lock().expect("topk cache lock").retain(|k, _| k.0 >= generation);
         Ok(generation)
     }
 
@@ -170,6 +199,48 @@ impl LiveEngine {
         let value = slot.engine.topk(query, budget)?;
         Ok(Tagged { value, generation: slot.generation })
     }
+
+    /// Approximate top-K with an explicit scan cap (see
+    /// [`Engine::topk_approx`]), served by one pinned generation.
+    pub fn topk_approx(
+        &self,
+        query: &TopKQuery,
+        budget: Option<Duration>,
+        scan_limit: usize,
+    ) -> Result<Tagged<TopKResult>> {
+        let slot = self.slot.load_full();
+        let value = slot.engine.topk_approx(query, budget, scan_limit)?;
+        Ok(Tagged { value, generation: slot.generation })
+    }
+
+    /// Pin the current generation for a run of queries. Unlike the
+    /// per-query methods (which pin per call), the returned handle keeps
+    /// one `(engine, generation)` pair alive for its whole lifetime — the
+    /// queue uses this to serve an entire drained batch from a single
+    /// coherent model even if a publish lands mid-batch.
+    pub fn pin(&self) -> Pinned {
+        Pinned { slot: self.slot.load_full() }
+    }
+}
+
+/// One pinned model generation (see [`LiveEngine::pin`]). Holding a
+/// `Pinned` keeps its generation's engine alive; publishes proceed
+/// unblocked and new pins see the new model.
+#[derive(Debug)]
+pub struct Pinned {
+    slot: Arc<GenerationSlot>,
+}
+
+impl Pinned {
+    /// The pinned engine; every query through it is served by one model.
+    pub fn engine(&self) -> &Engine {
+        &self.slot.engine
+    }
+
+    /// The pinned generation tag.
+    pub fn generation(&self) -> u64 {
+        self.slot.generation
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +310,53 @@ mod tests {
         assert_eq!(s.models_failed, 1);
         assert_eq!(s.models_published, 2);
         assert_eq!(s.serving_generation, 2);
+    }
+
+    #[test]
+    fn publish_mid_stream_never_serves_stale_topk() {
+        // Regression test for generation-unaware caching: a top-K result
+        // cached before a publish must never be returned after it.
+        let m1 = KruskalTensor::random(&[60, 8, 8], 3, 41);
+        let live = LiveEngine::new(&m1, EngineConfig::default()).unwrap();
+        let q = TopKQuery { mode: 0, at: vec![0, 3, 5], k: 5 };
+
+        // Warm the cache on generation 1 and confirm it hits.
+        let warm = live.topk(&q, None).unwrap();
+        assert_eq!(warm.generation, 1);
+        let hit = live.topk(&q, None).unwrap();
+        assert_eq!(hit.value, warm.value);
+        assert_eq!(live.snapshot().cache_hits, 1);
+
+        // A pinned gen-1 handle taken before the publish.
+        let pinned = live.pin();
+        assert_eq!(pinned.generation(), 1);
+
+        // Publish mid-stream; the same query must be recomputed against
+        // the new model, not served from the gen-1 cache entry.
+        let m2 = KruskalTensor::random(&[60, 8, 8], 3, 42);
+        live.publish(&m2).unwrap();
+        let fresh = live.topk(&q, None).unwrap();
+        assert_eq!(fresh.generation, 2);
+        let s = live.snapshot();
+        assert_eq!(s.cache_misses, 2, "post-publish query must miss, not hit stale");
+        for item in &fresh.value.items {
+            let mut idx = q.at.clone();
+            idx[q.mode] = item.index;
+            assert_eq!(
+                item.score.to_bits(),
+                m2.eval(&idx).to_bits(),
+                "served score must come from the published model"
+            );
+        }
+
+        // The old pinned handle recomputes gen-1 results correctly (its
+        // cache entries were flushed, its model was not).
+        let old = pinned.engine().topk(&q, None).unwrap();
+        for item in &old.items {
+            let mut idx = q.at.clone();
+            idx[q.mode] = item.index;
+            assert_eq!(item.score.to_bits(), m1.eval(&idx).to_bits());
+        }
     }
 
     #[test]

@@ -30,9 +30,21 @@ pub struct ServeMetrics {
     models_published: AtomicU64,
     models_failed: AtomicU64,
     serving_generation: AtomicU64,
+    sheds_queue_depth: AtomicU64,
+    sheds_deadline: AtomicU64,
+    sheds_tenant_share: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    approx_topk_queries: AtomicU64,
+    recall_checks: AtomicU64,
+    recall_overlap: AtomicU64,
+    recall_possible: AtomicU64,
     hist: [AtomicU64; BUCKETS],
     lat_count: AtomicU64,
     lat_sum_nanos: AtomicU64,
+    e2e_hist: [AtomicU64; BUCKETS],
+    e2e_count: AtomicU64,
+    e2e_sum_nanos: AtomicU64,
 }
 
 impl Default for ServeMetrics {
@@ -53,9 +65,21 @@ impl Default for ServeMetrics {
             models_published: AtomicU64::new(0),
             models_failed: AtomicU64::new(0),
             serving_generation: AtomicU64::new(0),
+            sheds_queue_depth: AtomicU64::new(0),
+            sheds_deadline: AtomicU64::new(0),
+            sheds_tenant_share: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            approx_topk_queries: AtomicU64::new(0),
+            recall_checks: AtomicU64::new(0),
+            recall_overlap: AtomicU64::new(0),
+            recall_possible: AtomicU64::new(0),
             hist: std::array::from_fn(|_| AtomicU64::new(0)),
             lat_count: AtomicU64::new(0),
             lat_sum_nanos: AtomicU64::new(0),
+            e2e_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            e2e_count: AtomicU64::new(0),
+            e2e_sum_nanos: AtomicU64::new(0),
         }
     }
 }
@@ -125,6 +149,57 @@ impl ServeMetrics {
         self.models_failed.fetch_add(1, Relaxed);
     }
 
+    /// Admission control shed a submission on the queue-depth watermark.
+    pub fn shed_queue_depth(&self) {
+        self.sheds_queue_depth.fetch_add(1, Relaxed);
+    }
+
+    /// Admission control shed a submission whose deadline was infeasible.
+    pub fn shed_deadline(&self) {
+        self.sheds_deadline.fetch_add(1, Relaxed);
+    }
+
+    /// Admission control shed a submission over its tenant's queue share.
+    pub fn shed_tenant_share(&self) {
+        self.sheds_tenant_share.fetch_add(1, Relaxed);
+    }
+
+    /// Record the queue depth after a submit or drain (keeps the gauge
+    /// and its high-water mark current).
+    pub fn queue_depth_update(&self, depth: usize) {
+        let depth = depth as u64;
+        self.queue_depth.store(depth, Relaxed);
+        self.queue_depth_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// One approximate (scan-capped) top-K query was served. Returns the
+    /// running count *including* this query, so the engine can decide
+    /// whether this query is due a shadow recall check.
+    pub fn approx_topk(&self) -> u64 {
+        self.approx_topk_queries.fetch_add(1, Relaxed) + 1
+    }
+
+    /// One shadow recall check: of the `possible` exact top-K items,
+    /// `overlap` also appeared in the approximate result.
+    pub fn recall_sample(&self, overlap: u64, possible: u64) {
+        self.recall_checks.fetch_add(1, Relaxed);
+        self.recall_overlap.fetch_add(overlap, Relaxed);
+        self.recall_possible.fetch_add(possible, Relaxed);
+    }
+
+    /// Record one end-to-end (submit → response delivered) latency for an
+    /// admitted-and-served queued request. Shed and timed-out requests
+    /// are *not* recorded here — they are accounted by their own
+    /// counters, so the e2e quantiles describe what callers that got an
+    /// answer actually waited.
+    pub fn record_e2e(&self, lat: Duration) {
+        let nanos = lat.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.e2e_hist[bucket].fetch_add(1, Relaxed);
+        self.e2e_count.fetch_add(1, Relaxed);
+        self.e2e_sum_nanos.fetch_add(nanos, Relaxed);
+    }
+
     /// Record one served-query latency.
     pub fn record_latency(&self, lat: Duration) {
         let nanos = lat.as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -139,6 +214,8 @@ impl ServeMetrics {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let hist: Vec<u64> = self.hist.iter().map(|b| b.load(Relaxed)).collect();
         let count = self.lat_count.load(Relaxed);
+        let e2e_hist: Vec<u64> = self.e2e_hist.iter().map(|b| b.load(Relaxed)).collect();
+        let e2e_count = self.e2e_count.load(Relaxed);
         MetricsSnapshot {
             point_queries: self.point_queries.load(Relaxed),
             batch_queries: self.batch_queries.load(Relaxed),
@@ -155,6 +232,24 @@ impl ServeMetrics {
             models_published: self.models_published.load(Relaxed),
             models_failed: self.models_failed.load(Relaxed),
             serving_generation: self.serving_generation.load(Relaxed),
+            sheds_queue_depth: self.sheds_queue_depth.load(Relaxed),
+            sheds_deadline: self.sheds_deadline.load(Relaxed),
+            sheds_tenant_share: self.sheds_tenant_share.load(Relaxed),
+            queue_depth: self.queue_depth.load(Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Relaxed),
+            approx_topk_queries: self.approx_topk_queries.load(Relaxed),
+            recall_checks: self.recall_checks.load(Relaxed),
+            recall_overlap: self.recall_overlap.load(Relaxed),
+            recall_possible: self.recall_possible.load(Relaxed),
+            e2e_p50: quantile(&e2e_hist, e2e_count, 0.50),
+            e2e_p90: quantile(&e2e_hist, e2e_count, 0.90),
+            e2e_p99: quantile(&e2e_hist, e2e_count, 0.99),
+            e2e_mean: self
+                .e2e_sum_nanos
+                .load(Relaxed)
+                .checked_div(e2e_count)
+                .map_or(Duration::ZERO, Duration::from_nanos),
+            e2e_recorded: e2e_count,
             p50: quantile(&hist, count, 0.50),
             p90: quantile(&hist, count, 0.90),
             p99: quantile(&hist, count, 0.99),
@@ -222,6 +317,36 @@ pub struct MetricsSnapshot {
     /// The model generation currently being served (0 until the first
     /// publish).
     pub serving_generation: u64,
+    /// Submissions shed on the queue-depth watermark.
+    pub sheds_queue_depth: u64,
+    /// Submissions shed because their deadline was infeasible at admit.
+    pub sheds_deadline: u64,
+    /// Submissions shed because their tenant exceeded its queue share.
+    pub sheds_tenant_share: u64,
+    /// Queue depth at snapshot time (gauge, not a counter).
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_peak: u64,
+    /// Top-K queries served by the approximate (scan-capped) tier.
+    pub approx_topk_queries: u64,
+    /// Shadow recall checks run against the exact path.
+    pub recall_checks: u64,
+    /// Exact top-K items also found by the approximate tier, summed over
+    /// all recall checks (numerator of [`MetricsSnapshot::recall_at_k`]).
+    pub recall_overlap: u64,
+    /// Exact top-K items total, summed over all recall checks
+    /// (denominator of [`MetricsSnapshot::recall_at_k`]).
+    pub recall_possible: u64,
+    /// Median end-to-end (submit → served) latency (bucket upper bound).
+    pub e2e_p50: Duration,
+    /// 90th-percentile end-to-end latency (bucket upper bound).
+    pub e2e_p90: Duration,
+    /// 99th-percentile end-to-end latency (bucket upper bound).
+    pub e2e_p99: Duration,
+    /// Mean end-to-end latency.
+    pub e2e_mean: Duration,
+    /// Admitted-and-served queued requests with an end-to-end latency.
+    pub e2e_recorded: u64,
     /// Median served latency (bucket upper bound).
     pub p50: Duration,
     /// 90th-percentile served latency (bucket upper bound).
@@ -259,6 +384,36 @@ impl MetricsSnapshot {
     pub fn queries(&self) -> u64 {
         self.point_queries + self.batch_queries + self.topk_queries
     }
+
+    /// Total submissions shed by admission control, over all causes.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_queue_depth + self.sheds_deadline + self.sheds_tenant_share
+    }
+
+    /// Fraction of queue submissions shed by admission control, in
+    /// `[0, 1]`: sheds over sheds-plus-served (0 when the queue is
+    /// unused). Capacity rejections (`queue_rejections`) are a submit-side
+    /// error, not a shed, and are excluded.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.sheds() + self.e2e_recorded;
+        if total == 0 {
+            0.0
+        } else {
+            self.sheds() as f64 / total as f64
+        }
+    }
+
+    /// Measured recall@K of the approximate top-K tier, in `[0, 1]`:
+    /// overlap with the exact result over the exact result size, summed
+    /// across all shadow checks. Returns 0 when no check has run — gate
+    /// on [`MetricsSnapshot::recall_checks`] `> 0` before trusting it.
+    pub fn recall_at_k(&self) -> f64 {
+        if self.recall_possible == 0 {
+            0.0
+        } else {
+            self.recall_overlap as f64 / self.recall_possible as f64
+        }
+    }
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -292,13 +447,41 @@ impl std::fmt::Display for MetricsSnapshot {
         writeln!(f, "queue rejections    : {}", self.queue_rejections)?;
         writeln!(
             f,
+            "sheds               : {} ({:.1}% of admits; depth {} / deadline {} / tenant {})",
+            self.sheds(),
+            100.0 * self.shed_rate(),
+            self.sheds_queue_depth,
+            self.sheds_deadline,
+            self.sheds_tenant_share
+        )?;
+        writeln!(
+            f,
+            "queue depth         : {} now, {} peak",
+            self.queue_depth, self.queue_depth_peak
+        )?;
+        if self.approx_topk_queries > 0 {
+            writeln!(
+                f,
+                "approx topk         : {} queries, recall@K {:.4} over {} shadow checks",
+                self.approx_topk_queries,
+                self.recall_at_k(),
+                self.recall_checks
+            )?;
+        }
+        writeln!(
+            f,
             "models published    : {} (serving generation {}, {} failed refreshes)",
             self.models_published, self.serving_generation, self.models_failed
         )?;
-        write!(
+        writeln!(
             f,
             "latency (≤)         : p50 {:?}  p90 {:?}  p99 {:?}  mean {:?}  (n={})",
             self.p50, self.p90, self.p99, self.mean, self.latencies_recorded
+        )?;
+        write!(
+            f,
+            "e2e latency (≤)     : p50 {:?}  p90 {:?}  p99 {:?}  mean {:?}  (n={})",
+            self.e2e_p50, self.e2e_p90, self.e2e_p99, self.e2e_mean, self.e2e_recorded
         )
     }
 }

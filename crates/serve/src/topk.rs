@@ -62,6 +62,11 @@ pub struct TopKResult {
     pub scanned: usize,
     /// Candidates skipped by the norm bound (provably outside the top K).
     pub pruned: usize,
+    /// True iff the approximate tier's scan cap ended the scan before the
+    /// norm bound proved the result exact. Candidates left unexamined by
+    /// the cap are counted neither `scanned` nor `pruned`, so
+    /// `scanned + pruned == dim` holds only for exact results.
+    pub approx: bool,
 }
 
 /// Heap entry ordered "better-first": higher score wins, ties go to the
@@ -90,17 +95,26 @@ impl Ord for Cand {
 }
 
 /// Run the pruned scan. Inputs are pre-validated by the engine.
+///
+/// `scan_limit` is the approximate tier's hook: `Some(n)` caps the scan at
+/// `n` exactly-scored candidates. Because candidates arrive in
+/// norm-descending order, the first `n` are precisely the rows the
+/// Cauchy–Schwarz bound says *can* carry large scores — the cap trades a
+/// provably-exact tail for latency while keeping every returned score
+/// bit-exact. If the norm bound proves the result exact before the cap
+/// fires, the result is exact and `approx` stays false.
 pub(crate) fn search(
     store: &FactorStore,
     query: &TopKQuery,
     deadline: Option<Instant>,
     check_every: usize,
+    scan_limit: Option<usize>,
 ) -> TopKResult {
     let r = store.rank();
     let dim = store.shape()[query.mode];
     let k = query.k.min(dim);
     if k == 0 {
-        return TopKResult { items: Vec::new(), degraded: false, scanned: 0, pruned: 0 };
+        return TopKResult { items: Vec::new(), degraded: false, scanned: 0, pruned: 0, approx: false };
     }
 
     // pre[r]: running product of the fixed modes *before* the free mode,
@@ -131,6 +145,7 @@ pub(crate) fn search(
     let mut scanned = 0usize;
     let mut pruned = 0usize;
     let mut degraded = false;
+    let mut approx = false;
 
     for (pos, &i) in order.iter().enumerate() {
         if heap.len() == k {
@@ -139,6 +154,14 @@ pub(crate) fn search(
             // still displace it on the index tie-break, so it must be scanned.
             if bound < heap.peek().expect("heap is full").0.score {
                 pruned = dim - pos;
+                break;
+            }
+        }
+        if let Some(lim) = scan_limit {
+            // Checked after the bound: a scan the bound already proved
+            // exact is reported exact even under a cap.
+            if scanned >= lim {
+                approx = true;
                 break;
             }
         }
@@ -172,7 +195,7 @@ pub(crate) fn search(
         .map(|Reverse(c)| TopKItem { index: c.index, score: c.score })
         .collect();
     items.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then(a.index.cmp(&b.index)));
-    TopKResult { items, degraded, scanned, pruned }
+    TopKResult { items, degraded, scanned, pruned, approx }
 }
 
 #[cfg(test)]
@@ -200,7 +223,7 @@ mod tests {
         let store = FactorStore::new(&model, 64).unwrap();
         for (mode, k) in [(0, 1), (0, 10), (1, 5), (2, 15), (0, 200)] {
             let q = TopKQuery { mode, at: vec![7, 3, 2], k };
-            let got = search(&store, &q, None, 128);
+            let got = search(&store, &q, None, 128, None);
             let want = brute_force(&model, &q);
             assert!(!got.degraded);
             assert_eq!(got.items, want, "mode {mode} k {k}");
@@ -215,7 +238,7 @@ mod tests {
         let model = KruskalTensor::random(&[5000, 10, 10], 4, 7);
         let store = FactorStore::new(&model, 512).unwrap();
         let q = TopKQuery { mode: 0, at: vec![0, 4, 4], k: 5 };
-        let res = search(&store, &q, None, 128);
+        let res = search(&store, &q, None, 128, None);
         assert!(res.pruned > 0, "expected pruning, scanned {}", res.scanned);
         assert_eq!(res.items, brute_force(&model, &q)[..5]);
     }
@@ -224,10 +247,39 @@ mod tests {
     fn k_zero_and_oversized_k() {
         let model = KruskalTensor::random(&[10, 10], 2, 3);
         let store = FactorStore::new(&model, 4).unwrap();
-        let none = search(&store, &TopKQuery { mode: 0, at: vec![0, 1], k: 0 }, None, 128);
+        let none = search(&store, &TopKQuery { mode: 0, at: vec![0, 1], k: 0 }, None, 128, None);
         assert!(none.items.is_empty());
-        let all = search(&store, &TopKQuery { mode: 1, at: vec![2, 0], k: 99 }, None, 128);
+        let all = search(&store, &TopKQuery { mode: 1, at: vec![2, 0], k: 99 }, None, 128, None);
         assert_eq!(all.items.len(), 10);
+    }
+
+    #[test]
+    fn scan_cap_marks_approx_and_scores_stay_bit_exact() {
+        let model = KruskalTensor::random(&[800, 12, 12], 5, 19);
+        let store = FactorStore::new(&model, 128).unwrap();
+        let q = TopKQuery { mode: 0, at: vec![0, 3, 7], k: 10 };
+        let exact = search(&store, &q, None, 128, None);
+        assert!(!exact.approx);
+
+        let capped = search(&store, &q, None, 128, Some(40));
+        assert!(capped.approx, "cap of 40 must end the scan early");
+        assert_eq!(capped.scanned, 40);
+        assert_eq!(capped.pruned, 0, "cap exits are not pruning proofs");
+        assert_eq!(capped.items.len(), 10);
+        // Every returned score is bit-identical to the completed tensor.
+        for item in &capped.items {
+            let mut idx = q.at.clone();
+            idx[q.mode] = item.index;
+            assert_eq!(item.score.to_bits(), model.eval(&idx).to_bits());
+        }
+        // The capped result is a subset-quality result: its best item can
+        // never beat the exact best.
+        assert!(capped.items[0].score <= exact.items[0].score);
+
+        // A cap the bound beats: result stays exact under a huge cap.
+        let loose = search(&store, &q, None, 128, Some(usize::MAX));
+        assert!(!loose.approx);
+        assert_eq!(loose.items, exact.items);
     }
 
     #[test]
@@ -239,7 +291,7 @@ mod tests {
         // check window before noticing, so the result is a valid prefix.
         // check_every=16 < k=50 guarantees the deadline check runs before
         // the heap fills, i.e. before bound-pruning could end the scan.
-        let res = search(&store, &q, Some(Instant::now()), 16);
+        let res = search(&store, &q, Some(Instant::now()), 16, None);
         assert!(res.degraded);
         assert!(res.scanned >= 16);
         assert_eq!(res.items.len(), res.scanned.min(50));

@@ -5,6 +5,14 @@
 //! distribution. The skew is what makes the top-K LRU cache earn its
 //! keep: popular fixed-index tuples recur, and the replay reports a
 //! meaningful hit rate instead of the zero a uniform trace would give.
+//!
+//! For SLO benchmarking, [`open_loop_trace`] adds *timing* to a trace:
+//! each request carries a submit offset drawn from a Poisson process at a
+//! configured QPS, plus a Zipf-assigned tenant. Open-loop (arrivals do
+//! not wait for completions) is the honest way to measure a serving
+//! system: a closed loop self-throttles under overload and hides the
+//! latency cliff that real traffic — which does not slow down because the
+//! server is slow — runs straight into.
 
 use crate::queue::Request;
 use crate::topk::TopKQuery;
@@ -132,9 +140,102 @@ pub fn synth_trace(shape: &[usize], cfg: &TraceConfig) -> Vec<Request> {
     trace
 }
 
+/// Shape of an open-loop (offered-load) trace.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered load in queries per second (Poisson arrivals).
+    pub qps: f64,
+    /// Number of tenants to spread requests across.
+    pub tenants: usize,
+    /// Zipf skew of the tenant assignment (`0` = uniform; larger values
+    /// concentrate traffic on tenant 0, the "hot" tenant).
+    pub tenant_zipf: f64,
+    /// The request mix (reuses the replay trace generator).
+    pub trace: TraceConfig,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig { qps: 50_000.0, tenants: 1, tenant_zipf: 1.0, trace: TraceConfig::default() }
+    }
+}
+
+/// One request of an open-loop trace: what to submit, when, and for whom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedRequest {
+    /// Submit time, as an offset from the start of the run.
+    pub offset: Duration,
+    /// Tenant lane the request belongs to (`0..tenants`).
+    pub tenant: usize,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// Generate a deterministic open-loop trace: `cfg.trace.queries` requests
+/// with exponential inter-arrival gaps at `cfg.qps` (a Poisson arrival
+/// process) and Zipf-skewed tenant assignment. The request mix is exactly
+/// [`synth_trace`]`(shape, &cfg.trace)`; the timing/tenant stream uses an
+/// independent RNG derived from the same seed, so changing the QPS never
+/// changes which requests are generated.
+pub fn open_loop_trace(shape: &[usize], cfg: &OpenLoopConfig) -> Vec<TimedRequest> {
+    assert!(cfg.qps.is_finite() && cfg.qps > 0.0, "qps must be positive and finite");
+    assert!(cfg.tenants >= 1, "need at least one tenant");
+    let requests = synth_trace(shape, &cfg.trace);
+    let mut rng = StdRng::seed_from_u64(cfg.trace.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let tenant_sampler = ZipfSampler::new(cfg.tenants, cfg.tenant_zipf);
+    let mut clock = 0.0f64; // seconds
+    requests
+        .into_iter()
+        .map(|request| {
+            let u: f64 = rng.random();
+            // Inverse-CDF exponential gap; (1 - u) keeps ln's argument in
+            // (0, 1] for u in [0, 1).
+            clock += -(1.0 - u).ln() / cfg.qps;
+            TimedRequest {
+                offset: Duration::from_secs_f64(clock),
+                tenant: tenant_sampler.sample(&mut rng),
+                request,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn open_loop_trace_paces_at_the_configured_qps() {
+        let shape = [50, 30, 7];
+        let cfg = OpenLoopConfig {
+            qps: 10_000.0,
+            tenants: 3,
+            tenant_zipf: 1.0,
+            trace: TraceConfig { queries: 20_000, ..Default::default() },
+        };
+        let a = open_loop_trace(&shape, &cfg);
+        let b = open_loop_trace(&shape, &cfg);
+        assert_eq!(a, b, "same seed, same trace");
+        assert_eq!(a.len(), 20_000);
+        // Offsets are non-decreasing; mean arrival rate is within 5% of
+        // the configured QPS (20k draws tightly concentrate the mean).
+        for w in a.windows(2) {
+            assert!(w[0].offset <= w[1].offset);
+        }
+        let span = a.last().unwrap().offset.as_secs_f64();
+        let rate = a.len() as f64 / span;
+        assert!((rate / cfg.qps - 1.0).abs() < 0.05, "measured {rate:.0} qps");
+        // Every tenant appears; tenant 0 is the hottest under Zipf.
+        let mut counts = [0usize; 3];
+        for t in &a {
+            counts[t.tenant] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        // The request mix is untouched by the timing overlay.
+        let plain = synth_trace(&shape, &cfg.trace);
+        assert!(a.iter().map(|t| &t.request).eq(plain.iter()));
+    }
 
     #[test]
     fn zipf_is_skewed_toward_small_indices() {

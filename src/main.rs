@@ -21,8 +21,9 @@
 use distenc::core::{AdmmConfig, AdmmSolver, Checkpoint, CheckpointPolicy, LayoutKind};
 use distenc::graph::{Laplacian, SparseSym};
 use distenc::serve::{
-    synth_trace, Engine, EngineConfig, QueueConfig, Request, RetryPolicy, ServeError,
-    ServeQueue, Ticket, TopKQuery, TraceConfig,
+    open_loop_trace, synth_trace, AdmissionControl, ApproxTopK, Engine, EngineConfig,
+    MetricsSnapshot, ModelRegistry, OpenLoopConfig, QueueConfig, Request, Response,
+    RetryPolicy, ServeError, ServeQueue, Ticket, TopKQuery, TraceConfig,
 };
 use distenc::tensor::{io, CooTensor, KruskalTensor};
 use std::collections::{BTreeMap, VecDeque};
@@ -108,7 +109,16 @@ USAGE:
                    [--queries N] [--point-frac F] [--batch-frac F]
                    [--batch-size B] [--k K] [--zipf S] [--budget-ms MS]
                    [--cache N] [--shard-rows N] [--workers W]
-                   [--window-us U] [--capacity N] [--max-batch N] [--seed S]";
+                   [--window-us U] [--capacity N] [--max-batch N] [--seed S]
+                   [--approx-scan N | --approx-coverage F] [--recall-every N]
+                   [--qps Q] [--tenants N] [--tenant-zipf S] [--json]
+                   [--shed-watermark N] [--tenant-share N] [--deadline-ms MS]
+
+serve-bench replays a closed-loop Zipf trace by default; --qps switches to
+an open-loop (offered-load) harness with Poisson arrivals, admission
+control, per-tenant fair queuing when --tenants > 1, and a --json report
+of throughput, shed rate, e2e latency quantiles, recall@K, and per-tenant
+queue occupancy.";
 
 /// Parse `--key value` pairs (plus bare flags listed in `flags`).
 fn parse_opts(
@@ -537,7 +547,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
-    let opts = parse_opts(args, &[])?;
+    let opts = parse_opts(args, &["json"])?;
     let seed: u64 = opts.get("seed").map_or(Ok(42), |s| parse_num(s, "seed"))?;
     let model = match opts.get("model") {
         Some(path) => io::read_kruskal_file(path).map_err(|e| e.to_string())?,
@@ -551,12 +561,23 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             KruskalTensor::random(&dims, rank, seed)
         }
     };
+    let approx_topk = match (opts.get("approx-scan"), opts.get("approx-coverage")) {
+        (Some(_), Some(_)) => {
+            return Err("--approx-scan and --approx-coverage are mutually exclusive".into())
+        }
+        (Some(s), None) => Some(ApproxTopK::ScanLimit(parse_num(s, "approx-scan")?)),
+        (None, Some(c)) => Some(ApproxTopK::NormCoverage(parse_num(c, "approx-coverage")?)),
+        (None, None) => None,
+    };
     let engine_cfg = EngineConfig {
         shard_rows: opts.get("shard-rows").map_or(Ok(4096), |s| parse_num(s, "shard-rows"))?,
         topk_cache: opts.get("cache").map_or(Ok(1024), |s| parse_num(s, "cache"))?,
+        approx_topk,
+        recall_check_every: opts
+            .get("recall-every")
+            .map_or(Ok(0), |s| parse_num(s, "recall-every"))?,
         ..Default::default()
     };
-    let engine = Arc::new(Engine::new(&model, engine_cfg).map_err(|e| e.to_string())?);
 
     let trace_cfg = TraceConfig {
         queries: opts.get("queries").map_or(Ok(100_000), |s| parse_num(s, "queries"))?,
@@ -577,6 +598,17 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
             trace_cfg.point_frac, trace_cfg.batch_frac
         ));
     }
+    if let Some(qps) = opts.get("qps") {
+        return serve_bench_open_loop(
+            &opts,
+            &model,
+            engine_cfg,
+            trace_cfg,
+            parse_num(qps, "qps")?,
+        );
+    }
+
+    let engine = Arc::new(Engine::new(&model, engine_cfg).map_err(|e| e.to_string())?);
     let shape = model.shape();
     let trace = synth_trace(&shape, &trace_cfg);
     let store = engine.store();
@@ -621,6 +653,7 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
                 opts.get("window-us").map_or(Ok(200), |s| parse_num(s, "window-us"))?,
             ),
             workers,
+            ..Default::default()
         };
         let queue =
             ServeQueue::new(Arc::clone(&engine), queue_cfg).map_err(|e| e.to_string())?;
@@ -652,5 +685,205 @@ fn cmd_serve_bench(args: &[String]) -> Result<(), String> {
         total as f64 / elapsed.max(1e-9)
     );
     println!("{}", engine.snapshot());
+    Ok(())
+}
+
+/// Spin/sleep until `start + offset` (sleep for coarse gaps, spin the
+/// final stretch — high-QPS inter-arrival gaps are far below OS sleep
+/// granularity).
+fn pace(start: Instant, offset: Duration) {
+    let target = start + offset;
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        if target - now > Duration::from_micros(300) {
+            std::thread::sleep(target - now - Duration::from_micros(200));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Open-loop serve-bench: offered load at a fixed QPS (Poisson
+/// arrivals), optional admission control, multi-tenant fair queuing, and
+/// a machine-readable `--json` report.
+fn serve_bench_open_loop(
+    opts: &BTreeMap<String, String>,
+    model: &KruskalTensor,
+    engine_cfg: EngineConfig,
+    trace_cfg: TraceConfig,
+    qps: f64,
+) -> Result<(), String> {
+    let tenants: usize = opts.get("tenants").map_or(Ok(1), |s| parse_num(s, "tenants"))?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let workers: usize = opts.get("workers").map_or(Ok(2), |s| parse_num(s, "workers"))?;
+    if workers == 0 {
+        return Err("open-loop mode needs --workers >= 1".into());
+    }
+    let deadline = opts
+        .get("deadline-ms")
+        .map(|s| parse_num::<u64>(s, "deadline-ms").map(Duration::from_millis))
+        .transpose()?;
+    let queue_cfg = QueueConfig {
+        capacity: opts.get("capacity").map_or(Ok(1024), |s| parse_num(s, "capacity"))?,
+        max_batch: opts.get("max-batch").map_or(Ok(64), |s| parse_num(s, "max-batch"))?,
+        window: Duration::from_micros(
+            opts.get("window-us").map_or(Ok(200), |s| parse_num(s, "window-us"))?,
+        ),
+        workers,
+        admission: AdmissionControl {
+            shed_watermark: opts
+                .get("shed-watermark")
+                .map(|s| parse_num(s, "shed-watermark"))
+                .transpose()?,
+            deadline_aware: deadline.is_some(),
+            tenant_share: opts
+                .get("tenant-share")
+                .map(|s| parse_num(s, "tenant-share"))
+                .transpose()?,
+        },
+        ..Default::default()
+    };
+
+    // Single tenant fronts one engine; several front a model registry
+    // (every tenant serving this same model, each with its own engine).
+    enum Fleet {
+        Single(Arc<Engine>),
+        Multi(Arc<ModelRegistry>),
+    }
+    let names: Vec<String> = (0..tenants).map(|i| format!("tenant-{i}")).collect();
+    let (queue, fleet) = if tenants > 1 {
+        let reg = Arc::new(ModelRegistry::new());
+        for name in &names {
+            reg.register(name, model, engine_cfg.clone()).map_err(|e| e.to_string())?;
+        }
+        let queue =
+            ServeQueue::with_registry(Arc::clone(&reg), queue_cfg).map_err(|e| e.to_string())?;
+        (queue, Fleet::Multi(reg))
+    } else {
+        let engine = Arc::new(Engine::new(model, engine_cfg).map_err(|e| e.to_string())?);
+        let queue =
+            ServeQueue::new(Arc::clone(&engine), queue_cfg).map_err(|e| e.to_string())?;
+        (queue, Fleet::Single(engine))
+    };
+
+    let open_cfg = OpenLoopConfig {
+        qps,
+        tenants,
+        tenant_zipf: opts.get("tenant-zipf").map_or(Ok(1.0), |s| parse_num(s, "tenant-zipf"))?,
+        trace: trace_cfg,
+    };
+    let shape = model.shape();
+    let trace = open_loop_trace(&shape, &open_cfg);
+    eprintln!(
+        "offering {} requests at {qps:.0} qps across {tenants} tenant(s), shape {shape:?} rank {}",
+        trace.len(),
+        model.rank(),
+    );
+
+    let mut tickets = Vec::with_capacity(trace.len());
+    let mut rejected = 0u64;
+    let start = Instant::now();
+    for tr in &trace {
+        pace(start, tr.offset);
+        let submitted = if tenants > 1 {
+            queue.submit_for_with_deadline(&names[tr.tenant], tr.request.clone(), deadline)
+        } else {
+            queue.submit_with_deadline(tr.request.clone(), deadline)
+        };
+        match submitted {
+            Ok(t) => tickets.push((tr.tenant, t)),
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    let mut served = vec![0u64; tenants];
+    let mut shed = vec![0u64; tenants];
+    let (mut timed_out, mut errors) = (0u64, 0u64);
+    for (tenant, ticket) in tickets {
+        match ticket.wait() {
+            Response::Value(_) | Response::Values(_) | Response::TopK(_) => served[tenant] += 1,
+            Response::Shed(_) => shed[tenant] += 1,
+            Response::TimedOut => timed_out += 1,
+            Response::Error(_) => errors += 1,
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let occupancy = queue.occupancy();
+    drop(queue);
+
+    let snap: MetricsSnapshot = match &fleet {
+        Fleet::Single(engine) => engine.snapshot(),
+        Fleet::Multi(reg) => reg.snapshot(),
+    };
+    // The fleet block never sees recall samples (each tenant's engine
+    // records its own), so aggregate recall across tenant snapshots.
+    let (recall_overlap, recall_possible, recall_checks) = match &fleet {
+        Fleet::Single(engine) => {
+            let s = engine.snapshot();
+            (s.recall_overlap, s.recall_possible, s.recall_checks)
+        }
+        Fleet::Multi(reg) => reg.tenant_snapshots().iter().fold((0, 0, 0), |acc, (_, s)| {
+            (acc.0 + s.recall_overlap, acc.1 + s.recall_possible, acc.2 + s.recall_checks)
+        }),
+    };
+    let recall = if recall_possible == 0 {
+        0.0
+    } else {
+        recall_overlap as f64 / recall_possible as f64
+    };
+    let total_served: u64 = served.iter().sum();
+    let total_shed: u64 = shed.iter().sum();
+    let achieved = total_served as f64 / wall.max(1e-9);
+
+    if opts.contains_key("json") {
+        let tenant_rows: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let peak =
+                    occupancy.iter().find(|(n, _, _)| n == name || (tenants == 1 && n == "default"))
+                        .map_or(0, |(_, _, p)| *p);
+                format!(
+                    "    {{ \"tenant\": \"{name}\", \"served\": {}, \"shed\": {}, \"queued_peak\": {peak} }}",
+                    served[i], shed[i]
+                )
+            })
+            .collect();
+        println!(
+            "{{\n  \"offered_qps\": {qps:.0},\n  \"achieved_qps\": {achieved:.0},\n  \"wall_secs\": {wall:.3},\n  \"requests\": {},\n  \"served\": {total_served},\n  \"shed\": {total_shed},\n  \"sheds_queue_depth\": {},\n  \"sheds_deadline\": {},\n  \"sheds_tenant_share\": {},\n  \"rejected\": {rejected},\n  \"timed_out\": {timed_out},\n  \"errors\": {errors},\n  \"shed_rate\": {:.4},\n  \"queue_depth_peak\": {},\n  \"e2e_us\": {{ \"p50\": {:.1}, \"p90\": {:.1}, \"p99\": {:.1}, \"mean\": {:.1} }},\n  \"recall_at_k\": {recall:.4},\n  \"recall_checks\": {recall_checks},\n  \"tenants\": [\n{}\n  ]\n}}",
+            trace.len(),
+            snap.sheds_queue_depth,
+            snap.sheds_deadline,
+            snap.sheds_tenant_share,
+            snap.shed_rate(),
+            snap.queue_depth_peak,
+            snap.e2e_p50.as_secs_f64() * 1e6,
+            snap.e2e_p90.as_secs_f64() * 1e6,
+            snap.e2e_p99.as_secs_f64() * 1e6,
+            snap.e2e_mean.as_secs_f64() * 1e6,
+            tenant_rows.join(",\n"),
+        );
+    } else {
+        println!(
+            "offered {} requests at {qps:.0} qps in {wall:.3} s: {total_served} served ({achieved:.0} qps), {total_shed} shed, {rejected} rejected, {timed_out} timed out, {errors} errors",
+            trace.len(),
+        );
+        println!("{snap}");
+        for (i, name) in names.iter().enumerate() {
+            let peak = occupancy
+                .iter()
+                .find(|(n, _, _)| n == name || (tenants == 1 && n == "default"))
+                .map_or(0, |(_, _, p)| *p);
+            println!(
+                "  {name}: served {} shed {} peak queue {peak}",
+                served[i], shed[i]
+            );
+        }
+    }
     Ok(())
 }

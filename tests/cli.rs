@@ -207,3 +207,41 @@ fn serve_bench_replays_and_reports() {
     assert!(stdout.contains("replayed 1000 requests"), "{stdout}");
     assert!(stdout.contains("batches executed"), "{stdout}");
 }
+
+#[test]
+fn serve_bench_open_loop_reports_json() {
+    let out = bin()
+        .args(["serve-bench", "--dims", "200,100,10", "--rank", "4"])
+        .args(["--queries", "3000", "--qps", "60000", "--workers", "2"])
+        .args(["--tenants", "2", "--tenant-zipf", "1.2", "--shed-watermark", "32"])
+        .args(["--capacity", "64", "--deadline-ms", "25"])
+        .args(["--approx-coverage", "0.95", "--recall-every", "8", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Machine-readable report: every field BENCH_serve_slo.json needs is
+    // reproducible from the CLI alone.
+    for key in [
+        "\"offered_qps\"",
+        "\"achieved_qps\"",
+        "\"shed_rate\"",
+        "\"e2e_us\"",
+        "\"recall_at_k\"",
+        "\"queued_peak\"",
+        "\"tenant-0\"",
+        "\"tenant-1\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+
+    // Open-loop mode refuses a worker-less (manual-drain) queue.
+    let out = bin()
+        .args(["serve-bench", "--dims", "20,10,5", "--rank", "2"])
+        .args(["--queries", "10", "--qps", "1000", "--workers", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--workers >= 1"), "{stderr}");
+}

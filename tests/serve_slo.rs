@@ -1,0 +1,215 @@
+//! Serve-SLO smoke gates for CI: fixed-work invariants of the serving
+//! stack that must hold at any thread count — no wall-clock assertions,
+//! so the gate is stable on loaded hosts.
+//!
+//! Three contracts, each run under `DISTENC_THREADS=1` and `=4` by
+//! `ci.sh` (the queue sizes its worker pool from the same variable the
+//! execution backends use):
+//!
+//! 1. **Shed accounting balances** — under offered load past the shed
+//!    watermark, every submission resolves to exactly one outcome and
+//!    the metrics mirror the caller-observed counts.
+//! 2. **Recall gate** — the approximate top-K tier on a popularity-
+//!    skewed model keeps recall@K at or above 0.95, measured by the
+//!    engine's own shadow-sampling counters (which must actually fire).
+//! 3. **Zero failed reads across swaps** — a registry-backed queue under
+//!    concurrent hot-publishes never surfaces an error, a stale read, or
+//!    an unresolved ticket.
+
+use distenc::linalg::Mat;
+use distenc::serve::{
+    open_loop_trace, AdmissionControl, ApproxTopK, Engine, EngineConfig, ModelRegistry,
+    OpenLoopConfig, QueueConfig, Request, Response, ServeError, ServeQueue, TraceConfig,
+};
+use distenc::tensor::KruskalTensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker-pool size for the gate, from the same env knob as the solver
+/// execution backends (`DISTENC_THREADS`), defaulting to 1.
+fn workers_from_env() -> usize {
+    std::env::var("DISTENC_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .unwrap_or(1)
+}
+
+/// CP model whose mode-0 row norms decay like a power law — the regime
+/// the norm-ordered approximate tier is designed for.
+fn skewed_model(shape: &[usize], rank: usize, seed: u64) -> KruskalTensor {
+    let mut factors: Vec<Mat> = shape
+        .iter()
+        .enumerate()
+        .map(|(n, &d)| Mat::random(d, rank, seed.wrapping_add(n as u64)))
+        .collect();
+    for i in 0..shape[0] {
+        let scale = 1.0 / (1.0 + i as f64).powf(0.7);
+        for v in factors[0].row_mut(i) {
+            *v *= scale;
+        }
+    }
+    KruskalTensor::new(factors).unwrap()
+}
+
+#[test]
+fn shed_accounting_balances_under_offered_load() {
+    let shape = [60, 30, 10];
+    let model = KruskalTensor::random(&shape, 4, 11);
+    let engine = Arc::new(Engine::new(&model, EngineConfig::default()).unwrap());
+    let queue = ServeQueue::new(
+        Arc::clone(&engine),
+        QueueConfig {
+            capacity: 64,
+            max_batch: 16,
+            window: Duration::from_micros(50),
+            workers: workers_from_env(),
+            admission: AdmissionControl {
+                shed_watermark: Some(8),
+                deadline_aware: false,
+                tenant_share: None,
+            },
+            fair_quantum: 8,
+        },
+    )
+    .unwrap();
+    let trace = open_loop_trace(
+        &shape,
+        &OpenLoopConfig {
+            qps: 1_000_000.0, // offsets collapse: submit as fast as possible
+            tenants: 2,
+            tenant_zipf: 1.0,
+            trace: TraceConfig { queries: 5_000, ..Default::default() },
+        },
+    );
+    let names = ["a", "b"];
+    let mut tickets = Vec::with_capacity(trace.len());
+    let mut rejected = 0u64;
+    for tr in &trace {
+        match queue.submit_for(names[tr.tenant], tr.request.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    let (mut served, mut shed) = (0u64, 0u64);
+    for t in tickets {
+        match t.wait() {
+            Response::Value(_) | Response::Values(_) | Response::TopK(_) => served += 1,
+            Response::Shed(_) => shed += 1,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(served + shed + rejected, trace.len() as u64, "outcomes tile the trace");
+    assert!(shed > 0, "a watermark of 8 under a 5k-request burst must shed");
+    assert!(served > 0, "admitted work must still be served");
+    let s = engine.snapshot();
+    assert_eq!(s.sheds(), shed, "metrics sheds mirror caller-observed sheds");
+    assert_eq!(s.sheds_queue_depth, shed, "only the watermark shedder was armed");
+    assert_eq!(s.queue_rejections, rejected);
+    assert_eq!(s.e2e_recorded, served, "every served request left one e2e sample");
+    let expected_rate = shed as f64 / (shed + served) as f64;
+    assert!((s.shed_rate() - expected_rate).abs() < 1e-12);
+    assert!(s.queue_depth_peak <= 64);
+    assert!(queue.is_empty());
+}
+
+#[test]
+fn approx_recall_stays_above_gate() {
+    let shape = [400, 40, 10];
+    let model = skewed_model(&shape, 6, 23);
+    let engine = Engine::new(
+        &model,
+        EngineConfig {
+            approx_topk: Some(ApproxTopK::NormCoverage(0.95)),
+            recall_check_every: 1,
+            topk_cache: 0, // every query takes the measured miss path
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for i in 0..200usize {
+        let q = distenc::serve::TopKQuery {
+            mode: 0,
+            at: vec![0, (i * 7) % shape[1], (i * 3) % shape[2]],
+            k: 10,
+        };
+        engine.topk(&q, None).unwrap();
+    }
+    let s = engine.snapshot();
+    assert_eq!(s.approx_topk_queries, 200);
+    assert_eq!(s.recall_checks, 200, "shadow sampling must actually fire");
+    assert!(s.recall_possible > 0);
+    assert!(
+        s.recall_at_k() >= 0.95,
+        "recall@10 {} under the 0.95 gate",
+        s.recall_at_k()
+    );
+}
+
+#[test]
+fn zero_failed_reads_across_swaps() {
+    let shape = [50, 20, 10];
+    let reg = Arc::new(ModelRegistry::new());
+    reg.register("a", &KruskalTensor::random(&shape, 3, 31), EngineConfig::default()).unwrap();
+    reg.register("b", &KruskalTensor::random(&shape, 3, 32), EngineConfig::default()).unwrap();
+    let queue = Arc::new(
+        ServeQueue::with_registry(
+            Arc::clone(&reg),
+            QueueConfig {
+                capacity: 256,
+                max_batch: 32,
+                window: Duration::from_micros(50),
+                workers: workers_from_env(),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    std::thread::scope(|s| {
+        // Publisher hot-swaps tenant "a" twenty times mid-stream.
+        let publisher = {
+            let reg = Arc::clone(&reg);
+            s.spawn(move || {
+                for gen in 0..20u64 {
+                    reg.publish("a", &KruskalTensor::random(&shape, 3, 100 + gen)).unwrap();
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            })
+        };
+        // Two readers hammer both tenants through the queue the whole
+        // time; every single ticket must resolve to a served value.
+        for reader in 0..2usize {
+            let queue = Arc::clone(&queue);
+            s.spawn(move || {
+                for i in 0..1_000usize {
+                    let tenant = if (i + reader) % 2 == 0 { "a" } else { "b" };
+                    let req = if i % 5 == 0 {
+                        Request::TopK {
+                            query: distenc::serve::TopKQuery {
+                                mode: 0,
+                                at: vec![0, i % 20, i % 10],
+                                k: 4,
+                            },
+                            budget: None,
+                        }
+                    } else {
+                        Request::Point { index: vec![i % 50, i % 20, i % 10] }
+                    };
+                    let ticket = queue
+                        .submit_for(tenant, req)
+                        .expect("registered tenants never fail to submit under capacity");
+                    match ticket.wait() {
+                        Response::Value(v) => assert!(v.is_finite()),
+                        Response::TopK(r) => assert_eq!(r.items.len(), 4),
+                        other => panic!("failed read across swaps: {other:?}"),
+                    }
+                }
+            });
+        }
+        publisher.join().unwrap();
+    });
+    // Every publish landed; the final generation is 1 (initial) + 20.
+    assert_eq!(reg.engine("a").unwrap().point(&[0, 0, 0]).unwrap().generation, 21);
+    assert_eq!(reg.engine("b").unwrap().point(&[0, 0, 0]).unwrap().generation, 1);
+}
